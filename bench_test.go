@@ -1,0 +1,451 @@
+// Benchmarks mirroring every table and figure of the paper's evaluation
+// (§7), one per experiment ID, at laptop scale. The full paper-style sweeps
+// with printed rows live in cmd/benchfig (go run ./cmd/benchfig -fig all);
+// these testing.B benchmarks measure the core operation behind each
+// experiment so that regressions in any reproduced result show up in
+// `go test -bench`.
+package firmament
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/experiments"
+	"firmament/internal/flow"
+	"firmament/internal/mcmf"
+	"firmament/internal/policy"
+	"firmament/internal/sim"
+	"firmament/internal/storage"
+	"firmament/internal/trace"
+)
+
+// benchGraph lazily builds and caches a warmed scheduling graph of the
+// given size (building one takes seconds; benchmarks clone it per run).
+var benchGraphs sync.Map
+
+func warmGraph(b *testing.B, machines int) *flow.Graph {
+	b.Helper()
+	if g, ok := benchGraphs.Load(machines); ok {
+		return g.(*flow.Graph)
+	}
+	_, g := experiments.WarmedForProfile(machines, 0.5, 42, core.ModeQuincy)
+	benchGraphs.Store(machines, g)
+	return g
+}
+
+func solveBench(b *testing.B, g *flow.Graph, s mcmf.Solver, opts *mcmf.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	clone := g.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.CloneInto(clone)
+		b.StartTimer()
+		if _, err := s.Solve(clone, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3QuincyRuntime measures the Quincy baseline: one from-scratch
+// cost scaling solve over a warmed 150-machine scheduling graph (Figure 3).
+func BenchmarkFig3QuincyRuntime(b *testing.B) {
+	solveBench(b, warmGraph(b, 150), mcmf.NewCostScaling(), nil)
+}
+
+// BenchmarkFig7Algorithms compares the four MCMF algorithms from scratch on
+// the same scheduling graph (Figure 7). Cycle canceling runs on a smaller
+// graph; it would dominate the suite otherwise.
+func BenchmarkFig7Algorithms(b *testing.B) {
+	ap := &mcmf.Options{ArcPrioritization: true}
+	b.Run("relaxation", func(b *testing.B) { solveBench(b, warmGraph(b, 150), mcmf.NewRelaxation(), ap) })
+	b.Run("cost-scaling", func(b *testing.B) { solveBench(b, warmGraph(b, 150), mcmf.NewCostScaling(), nil) })
+	b.Run("succ-shortest-path", func(b *testing.B) {
+		solveBench(b, warmGraph(b, 150), mcmf.NewSuccessiveShortestPath(), nil)
+	})
+	b.Run("cycle-canceling", func(b *testing.B) {
+		solveBench(b, warmGraph(b, 25), mcmf.NewCycleCanceling(), nil)
+	})
+}
+
+// oversubscribedGraph builds the Figure 8 scenario once.
+var oversubOnce sync.Once
+var oversubGraph *flow.Graph
+
+func fig8Graph(b *testing.B) *flow.Graph {
+	b.Helper()
+	oversubOnce.Do(func() {
+		oversubGraph = experiments.OversubscribedGraph(150, 0.12, 42)
+	})
+	return oversubGraph
+}
+
+// BenchmarkFig8Utilization measures both racing algorithms on an
+// oversubscribed cluster snapshot (Figure 8).
+func BenchmarkFig8Utilization(b *testing.B) {
+	ap := &mcmf.Options{ArcPrioritization: true}
+	b.Run("relaxation", func(b *testing.B) { solveBench(b, fig8Graph(b), mcmf.NewRelaxation(), ap) })
+	b.Run("cost-scaling", func(b *testing.B) { solveBench(b, fig8Graph(b), mcmf.NewCostScaling(), nil) })
+}
+
+// contendedGraph builds the Figure 9 scenario once.
+var contendedOnce sync.Once
+var contendedG *flow.Graph
+
+func fig9Graph(b *testing.B) *flow.Graph {
+	b.Helper()
+	contendedOnce.Do(func() {
+		g, err := experiments.ContendedGraph(250, 1000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		contendedG = g
+	})
+	return contendedG
+}
+
+// BenchmarkFig9LargeJob measures the load-spreading contention edge case: a
+// 1,000-task job arriving on a skew-loaded 250-machine cluster (Figure 9).
+// Relaxation's time grows linearly with the job size; cost scaling's stays
+// flat.
+func BenchmarkFig9LargeJob(b *testing.B) {
+	ap := &mcmf.Options{ArcPrioritization: true}
+	b.Run("relaxation", func(b *testing.B) { solveBench(b, fig9Graph(b), mcmf.NewRelaxation(), ap) })
+	b.Run("cost-scaling", func(b *testing.B) { solveBench(b, fig9Graph(b), mcmf.NewCostScaling(), nil) })
+}
+
+// BenchmarkFig10Approximate measures a solve with per-iteration snapshot
+// hooks firing — the instrumentation cost of the early-termination
+// experiment (Figure 10).
+func BenchmarkFig10Approximate(b *testing.B) {
+	g := warmGraph(b, 150)
+	snaps := 0
+	opts := &mcmf.Options{SnapshotHook: func(time.Duration) { snaps++ }}
+	solveBench(b, g, mcmf.NewCostScaling(), opts)
+	if snaps == 0 {
+		b.Fatal("snapshot hook never fired")
+	}
+}
+
+// BenchmarkFig11Incremental measures one incremental cost scaling round
+// after a realistic change batch, against the from-scratch alternative
+// (Figure 11).
+func BenchmarkFig11Incremental(b *testing.B) {
+	g, changes := experiments.ChangedGraph(150, 42)
+	b.Run("incremental", func(b *testing.B) {
+		cs := mcmf.NewCostScaling()
+		clone := g.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g.CloneInto(clone)
+			b.StartTimer()
+			if _, err := cs.SolveIncremental(clone, changes, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		solveBench(b, g, mcmf.NewCostScaling(), nil)
+	})
+}
+
+// BenchmarkFig12aArcPrioritization measures relaxation with and without the
+// §5.3.1 heuristic on the contended graph (Figure 12a).
+func BenchmarkFig12aArcPrioritization(b *testing.B) {
+	b.Run("with-AP", func(b *testing.B) {
+		solveBench(b, fig9Graph(b), mcmf.NewRelaxation(), &mcmf.Options{ArcPrioritization: true})
+	})
+	b.Run("without-AP", func(b *testing.B) {
+		solveBench(b, fig9Graph(b), mcmf.NewRelaxation(), &mcmf.Options{ArcPrioritization: false})
+	})
+}
+
+// BenchmarkFig12bTaskRemoval measures the graph-side cost of removing a
+// running task with and without the §5.3.2 flow-draining heuristic
+// (Figure 12b's mechanism; the solver-side effect is in cmd/benchfig).
+func BenchmarkFig12bTaskRemoval(b *testing.B) {
+	for _, heuristic := range []bool{true, false} {
+		name := "with-drain"
+		if !heuristic {
+			name = "without-drain"
+		}
+		b.Run(name, func(b *testing.B) {
+			cl := cluster.New(cluster.Topology{Racks: 2, MachinesPerRack: 8, SlotsPerMachine: 8})
+			sched := core.NewScheduler(cl, policy.NewLoadSpread(cl), core.Config{
+				Mode: core.ModeIncrementalCostScaling, TaskRemovalHeuristic: heuristic,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				job := cl.SubmitJob(cluster.Batch, 0, 0, make([]cluster.TaskSpec, 16))
+				if _, _, err := sched.RunOnce(0); err != nil {
+					b.Fatal(err)
+				}
+				for _, id := range job.Tasks {
+					if cl.Task(id).State == cluster.TaskRunning {
+						cl.Complete(id, time.Second)
+					}
+				}
+				ev := cl.DrainEvents()
+				b.StartTimer()
+				sched.GraphManager().ApplyEvents(ev)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13PriceRefine measures the price refine pass that transfers a
+// relaxation solution into cost scaling's scaled potential domain
+// (Figure 13, §6.2).
+func BenchmarkFig13PriceRefine(b *testing.B) {
+	g := warmGraph(b, 150).Clone()
+	if _, err := mcmf.NewRelaxation().Solve(g, &mcmf.Options{ArcPrioritization: true}); err != nil {
+		b.Fatal(err)
+	}
+	scale := mcmf.NewCostScaling().ScaleFor(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !mcmf.PriceRefine(g, scale, 0, nil) {
+			b.Fatal("price refine failed on optimal flow")
+		}
+	}
+}
+
+// BenchmarkFig14PlacementLatency measures one full Firmament scheduling
+// round — graph update, speculative dual solve, extraction, application —
+// the pipeline whose latency Figure 14 reports.
+func BenchmarkFig14PlacementLatency(b *testing.B) {
+	cl := cluster.New(cluster.Topology{Racks: 6, MachinesPerRack: 25, SlotsPerMachine: 12})
+	store := storage.NewStore(cl, storage.Config{Seed: 42, BlockSize: 1 << 30})
+	sched := core.NewScheduler(cl, policy.NewQuincy(cl, store), core.DefaultConfig())
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		now += time.Second
+		specs := make([]cluster.TaskSpec, 20)
+		for j := range specs {
+			f := store.AddFile(2 << 30)
+			specs[j] = cluster.TaskSpec{Duration: time.Hour, InputFile: f, InputSize: 2 << 30}
+		}
+		job := cl.SubmitJob(cluster.Batch, 0, now, specs)
+		b.StartTimer()
+		if _, _, err := sched.RunOnce(now); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		// Keep utilization steady.
+		for _, id := range job.Tasks {
+			if cl.Task(id).State == cluster.TaskRunning {
+				cl.Complete(id, now)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFig15Threshold measures the graph update pass at the 14% and 2%
+// locality thresholds: the 2% threshold yields many more preference arcs
+// (Figure 15).
+func BenchmarkFig15Threshold(b *testing.B) {
+	for _, th := range []struct {
+		name string
+		frac float64
+	}{{"threshold-14pct", 0.14}, {"threshold-2pct", 0.02}} {
+		b.Run(th.name, func(b *testing.B) {
+			cl := cluster.New(cluster.Topology{Racks: 4, MachinesPerRack: 25, SlotsPerMachine: 12})
+			store := storage.NewStore(cl, storage.Config{Seed: 42, BlockSize: 1 << 30})
+			q := policy.NewQuincy(cl, store)
+			q.PreferenceThreshold = th.frac
+			sched := core.NewScheduler(cl, q, core.DefaultConfig())
+			specs := make([]cluster.TaskSpec, 300)
+			for j := range specs {
+				f := store.AddFile(8 << 30)
+				specs[j] = cluster.TaskSpec{Duration: time.Hour, InputFile: f, InputSize: 8 << 30}
+			}
+			cl.SubmitJob(cluster.Batch, 0, 0, specs)
+			gm := sched.GraphManager()
+			gm.ApplyEvents(cl.DrainEvents())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gm.UpdateRound(time.Duration(i) * time.Millisecond)
+			}
+		})
+	}
+}
+
+// BenchmarkFig16Oversubscription measures the speculative solver pool on an
+// oversubscribed snapshot — the situation where racing both algorithms pays
+// (Figure 16).
+func BenchmarkFig16Oversubscription(b *testing.B) {
+	g := fig8Graph(b)
+	pool := core.NewSolverPool(core.ModeFirmament)
+	pool.Options.ArcPrioritization = true
+	pool.Options.Alpha = 9
+	var changes flow.ChangeSet
+	clone := g.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.CloneInto(clone)
+		b.StartTimer()
+		if _, err := pool.Solve(clone, &changes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17BreakingPoint runs a short all-small-tasks simulation (jobs
+// of 10 tasks at 80% load, Figure 17) end to end.
+func BenchmarkFig17BreakingPoint(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := trace.Uniform(10, 50*time.Millisecond, 25*time.Millisecond, time.Second)
+		res, err := sim.Run(sim.Config{
+			Topology: cluster.Topology{Racks: 2, MachinesPerRack: 10, SlotsPerMachine: 4},
+			Workload: w,
+			Seed:     42,
+			NewFlowScheduler: func(env *sim.Env) *core.Scheduler {
+				return core.NewScheduler(env.Cluster, policy.NewLoadSpread(env.Cluster), core.DefaultConfig())
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TasksCompleted == 0 {
+			b.Fatal("no tasks completed")
+		}
+	}
+}
+
+// BenchmarkFig18Speedup replays a 150×-accelerated Google-shape trace
+// against Firmament (Figure 18).
+func BenchmarkFig18Speedup(b *testing.B) {
+	w := trace.Generate(trace.Config{
+		Machines: 50, Utilization: 0.85, Horizon: 2 * time.Second,
+		Speedup: 150, Seed: 42, Prefill: true,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Topology:   cluster.Topology{Racks: 2, MachinesPerRack: 25, SlotsPerMachine: 12},
+			Workload:   w,
+			Seed:       42,
+			UseStorage: true,
+			MaxVirtual: 10 * time.Second,
+			NewFlowScheduler: func(env *sim.Env) *core.Scheduler {
+				return core.NewScheduler(env.Cluster,
+					policy.NewQuincy(env.Cluster, env.Store), core.DefaultConfig())
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTestbed runs a short Figure 19 testbed simulation.
+func benchTestbed(b *testing.B, loaded bool) {
+	b.Helper()
+	const gbps = 1000 * 1000 * 1000 / 8
+	var bg []sim.BackgroundFlow
+	if loaded {
+		for i := 0; i < 14; i++ {
+			bg = append(bg, sim.BackgroundFlow{
+				Src: cluster.MachineID(i % 20), Dst: cluster.MachineID(20 + i%7),
+				Class: 0, RateLimit: 4 * gbps,
+			})
+		}
+	}
+	w := &trace.Workload{Horizon: 5 * time.Second}
+	for i := 0; i < 12; i++ {
+		w.Jobs = append(w.Jobs, trace.JobTrace{
+			Submit: time.Duration(i) * 400 * time.Millisecond,
+			Class:  cluster.Batch,
+			Tasks: []trace.TaskTrace{{
+				Duration: 4 * time.Second, InputSize: 5 << 30, NetDemand: (5 << 30) / 4,
+			}},
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Topology:   cluster.Topology{Racks: 4, MachinesPerRack: 10, SlotsPerMachine: 4, NICBps: 10 * gbps},
+			Workload:   w,
+			Seed:       42,
+			UseStorage: true,
+			UseFabric:  true,
+			Background: bg,
+			NewFlowScheduler: func(env *sim.Env) *core.Scheduler {
+				return core.NewScheduler(env.Cluster,
+					policy.NewNetworkAware(env.Cluster, env.Fabric), core.DefaultConfig())
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig19aIdleNetwork runs the 40-machine testbed model with an idle
+// network (Figure 19a).
+func BenchmarkFig19aIdleNetwork(b *testing.B) { benchTestbed(b, false) }
+
+// BenchmarkFig19bLoadedNetwork runs it with the background iperf traffic
+// (Figure 19b).
+func BenchmarkFig19bLoadedNetwork(b *testing.B) { benchTestbed(b, true) }
+
+// BenchmarkGraphUpdate measures the two-pass flow network update (§6.3).
+func BenchmarkGraphUpdate(b *testing.B) {
+	cl := cluster.New(cluster.Topology{Racks: 6, MachinesPerRack: 25, SlotsPerMachine: 12})
+	store := storage.NewStore(cl, storage.Config{Seed: 42, BlockSize: 1 << 30})
+	sched := core.NewScheduler(cl, policy.NewQuincy(cl, store), core.DefaultConfig())
+	specs := make([]cluster.TaskSpec, 900)
+	for j := range specs {
+		f := store.AddFile(4 << 30)
+		specs[j] = cluster.TaskSpec{Duration: time.Hour, InputFile: f, InputSize: 4 << 30}
+	}
+	cl.SubmitJob(cluster.Batch, 0, 0, specs)
+	gm := sched.GraphManager()
+	gm.ApplyEvents(cl.DrainEvents())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gm.UpdateRound(time.Duration(i) * time.Millisecond)
+	}
+}
+
+// BenchmarkExtraction measures placement extraction (Listing 1).
+func BenchmarkExtraction(b *testing.B) {
+	sched, _ := experiments.WarmedSchedulerForProfile(250, 0.8, 42)
+	gm := sched.GraphManager()
+	if _, err := mcmf.NewRelaxation().Solve(gm.Graph(), &mcmf.Options{ArcPrioritization: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := gm.ExtractPlacements()
+		if len(m) == 0 {
+			b.Fatal("no placements extracted")
+		}
+	}
+}
+
+// BenchmarkClone measures the per-round replica clone the solver pool pays
+// for speculative execution (§6.1).
+func BenchmarkClone(b *testing.B) {
+	g := warmGraph(b, 450)
+	clone := g.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CloneInto(clone)
+	}
+}

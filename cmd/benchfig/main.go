@@ -1,0 +1,69 @@
+// benchfig regenerates the tables and figures of the Firmament paper's
+// evaluation (§7). Each experiment prints the same rows/series the paper
+// reports, at a configurable scale.
+//
+// Usage:
+//
+//	benchfig -list
+//	benchfig -fig fig14
+//	benchfig -fig all -scale 2 -rounds 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"firmament/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id (fig3…fig19b, tab1…tab3) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Float64("scale", 1, "cluster size multiplier (10 ≈ the paper's full scale)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		rounds  = flag.Int("rounds", 0, "scheduling rounds per configuration (0: default)")
+		timeout = flag.Duration("timeout", 0, "per-solve timeout (0: default 20s)")
+	)
+	flag.Parse()
+
+	if *list || *fig == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *fig == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Scale:         *scale,
+		Seed:          *seed,
+		Rounds:        *rounds,
+		SolverTimeout: *timeout,
+	}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *fig == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*fig)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
+		os.Exit(2)
+	}
+	run(e)
+}

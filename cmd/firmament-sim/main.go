@@ -1,0 +1,127 @@
+// firmament-sim replays a Google-trace-shaped workload against a chosen
+// scheduler in the Fauxmaster-style simulator (paper §7.1) and reports
+// placement latency, response time, and solver statistics.
+//
+// Usage:
+//
+//	firmament-sim -machines 250 -util 0.9 -horizon 1m -scheduler firmament
+//	firmament-sim -scheduler quincy -speedup 50
+//	firmament-sim -scheduler sparrow -policy loadspread
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"firmament"
+)
+
+func main() {
+	var (
+		machines  = flag.Int("machines", 250, "cluster size")
+		slots     = flag.Int("slots", 12, "slots per machine")
+		util      = flag.Float64("util", 0.8, "target slot utilization")
+		horizon   = flag.Duration("horizon", time.Minute, "trace horizon")
+		speedup   = flag.Float64("speedup", 1, "trace acceleration factor")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		scheduler = flag.String("scheduler", "firmament",
+			"firmament | relaxation | inc-cost-scaling | quincy | sparrow | swarmkit | kubernetes | mesos")
+		policyKind = flag.String("policy", "quincy", "flow policy: quincy | loadspread | netaware")
+	)
+	flag.Parse()
+
+	workload := firmament.GenerateTrace(firmament.TraceConfig{
+		Machines:        *machines,
+		SlotsPerMachine: *slots,
+		Utilization:     *util,
+		Horizon:         *horizon,
+		Speedup:         *speedup,
+		Seed:            *seed,
+		Prefill:         true,
+	})
+	fmt.Printf("workload: %d jobs, %d tasks over %v at %gx speedup\n",
+		len(workload.Jobs), workload.NumTasks(), *horizon, *speedup)
+
+	cfg := firmament.SimConfig{
+		Topology: firmament.Topology{
+			Racks:           (*machines + 24) / 25,
+			MachinesPerRack: 25,
+			SlotsPerMachine: *slots,
+		},
+		Workload:   workload,
+		Seed:       *seed,
+		UseStorage: true,
+		MaxVirtual: 3 * *horizon,
+	}
+
+	mode, isFlow := map[string]firmament.SolverMode{
+		"firmament":        firmament.ModeFirmament,
+		"relaxation":       firmament.ModeRelaxationOnly,
+		"inc-cost-scaling": firmament.ModeIncrementalCostScaling,
+		"quincy":           firmament.ModeQuincy,
+	}[*scheduler]
+	switch {
+	case isFlow:
+		cfg.NewFlowScheduler = func(env *firmament.SimEnv) *firmament.Scheduler {
+			c := firmament.DefaultConfig()
+			c.Mode = mode
+			var model firmament.CostModel
+			switch *policyKind {
+			case "loadspread":
+				model = firmament.NewLoadSpreadPolicy(env.Cluster)
+			case "netaware":
+				model = firmament.NewNetworkAwarePolicy(env.Cluster, env.Fabric)
+			default:
+				model = firmament.NewQuincyPolicy(env.Cluster, env.Store)
+			}
+			return firmament.NewScheduler(env.Cluster, model, c)
+		}
+	case *scheduler == "sparrow":
+		cfg.NewQueueScheduler = func(env *firmament.SimEnv) firmament.QueueScheduler {
+			return firmament.NewSparrow(env.Cluster, *seed)
+		}
+	case *scheduler == "swarmkit":
+		cfg.NewQueueScheduler = func(env *firmament.SimEnv) firmament.QueueScheduler {
+			return firmament.NewSwarmKit(env.Cluster)
+		}
+	case *scheduler == "kubernetes":
+		cfg.NewQueueScheduler = func(env *firmament.SimEnv) firmament.QueueScheduler {
+			return firmament.NewKubernetes(env.Cluster)
+		}
+	case *scheduler == "mesos":
+		cfg.NewQueueScheduler = func(env *firmament.SimEnv) firmament.QueueScheduler {
+			return firmament.NewMesos(env.Cluster, *seed)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *scheduler)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res, err := firmament.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nscheduler: %s (simulated in %v wall time)\n",
+		res.SchedulerName, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("tasks completed: %d   placed: %d   preemptions: %d   migrations: %d\n",
+		res.TasksCompleted, res.Placed, res.Preempted, res.Migrated)
+	if res.TotalBytes > 0 {
+		fmt.Printf("input locality: %.0f%% machine-local, %.0f%% rack-local\n",
+			res.Locality()*100, res.RackLocality()*100)
+	}
+	fmt.Println("\ntask placement latency:")
+	for _, p := range []float64{25, 50, 75, 90, 99} {
+		fmt.Printf("  p%-3.0f %9.4fs\n", p, res.PlacementLatency.Percentile(p))
+	}
+	if res.Rounds > 0 {
+		fmt.Println("\nscheduling rounds:")
+		fmt.Printf("  rounds: %d   algorithm runtime p50 %.4fs  p99 %.4fs\n",
+			res.Rounds, res.AlgorithmRuntime.Percentile(50), res.AlgorithmRuntime.Percentile(99))
+		fmt.Printf("  winners: %v\n", res.Winners)
+	}
+}

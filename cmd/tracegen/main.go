@@ -1,0 +1,92 @@
+// tracegen emits a synthetic Google-trace-shaped workload (paper §7.1) as
+// CSV for inspection or external tooling. One row per task:
+//
+//	job_id,submit_ms,class,priority,task_index,duration_ms,input_bytes,net_demand_bps
+//
+// Usage:
+//
+//	tracegen -machines 1000 -horizon 10m > trace.csv
+//	tracegen -machines 100 -speedup 200 -summary
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"firmament"
+)
+
+func main() {
+	var (
+		machines = flag.Int("machines", 250, "cluster size the workload targets")
+		slots    = flag.Int("slots", 12, "slots per machine")
+		util     = flag.Float64("util", 0.8, "target slot utilization")
+		horizon  = flag.Duration("horizon", 5*time.Minute, "trace horizon")
+		speedup  = flag.Float64("speedup", 1, "trace acceleration factor")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		prefill  = flag.Bool("prefill", true, "include the steady-state backlog at t=0")
+		summary  = flag.Bool("summary", false, "print distribution summary instead of CSV")
+	)
+	flag.Parse()
+
+	w := firmament.GenerateTrace(firmament.TraceConfig{
+		Machines:        *machines,
+		SlotsPerMachine: *slots,
+		Utilization:     *util,
+		Horizon:         *horizon,
+		Speedup:         *speedup,
+		Seed:            *seed,
+		Prefill:         *prefill,
+	})
+
+	if *summary {
+		printSummary(w)
+		return
+	}
+
+	out := csv.NewWriter(os.Stdout)
+	defer out.Flush()
+	out.Write([]string{"job_id", "submit_ms", "class", "priority", "task_index",
+		"duration_ms", "input_bytes", "net_demand_bps"})
+	for jobID, j := range w.Jobs {
+		for i, t := range j.Tasks {
+			out.Write([]string{
+				strconv.Itoa(jobID),
+				strconv.FormatInt(j.Submit.Milliseconds(), 10),
+				j.Class.String(),
+				strconv.Itoa(j.Priority),
+				strconv.Itoa(i),
+				strconv.FormatInt(t.Duration.Milliseconds(), 10),
+				strconv.FormatInt(t.InputSize, 10),
+				strconv.FormatInt(t.NetDemand, 10),
+			})
+		}
+	}
+}
+
+func printSummary(w *firmament.Workload) {
+	jobs := len(w.Jobs)
+	tasks := w.NumTasks()
+	big, service := 0, 0
+	var maxSize int
+	for _, j := range w.Jobs {
+		if len(j.Tasks) > 1000 {
+			big++
+		}
+		if len(j.Tasks) > maxSize {
+			maxSize = len(j.Tasks)
+		}
+		if j.Class == firmament.Service {
+			service++
+		}
+	}
+	fmt.Printf("jobs: %d (%d service)\ntasks: %d (mean %.1f per job, max %d)\n",
+		jobs, service, tasks, float64(tasks)/float64(jobs), maxSize)
+	fmt.Printf("jobs over 1000 tasks: %d (%.2f%%; the Google trace has 1.2%%)\n",
+		big, 100*float64(big)/float64(jobs))
+	fmt.Printf("horizon: %v\n", w.Horizon)
+}

@@ -1,0 +1,71 @@
+// Trace replay: generate a Google-trace-shaped workload (paper §7.1) and
+// replay it against Firmament in the Fauxmaster-style simulator, printing
+// the placement latency distribution — the experiment behind the paper's
+// Figure 14, at a laptop-friendly scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"firmament"
+)
+
+func main() {
+	machines := flag.Int("machines", 250, "cluster size")
+	util := flag.Float64("util", 0.9, "target slot utilization")
+	speedup := flag.Float64("speedup", 1, "trace acceleration factor (paper Fig. 18)")
+	horizon := flag.Duration("horizon", 2*time.Minute, "trace horizon")
+	quincy := flag.Bool("quincy", false, "restrict the solver to from-scratch cost scaling (the Quincy baseline)")
+	flag.Parse()
+
+	workload := firmament.GenerateTrace(firmament.TraceConfig{
+		Machines:    *machines,
+		Utilization: *util,
+		Horizon:     *horizon,
+		Speedup:     *speedup,
+		Seed:        1,
+		Prefill:     true,
+	})
+	fmt.Printf("generated %d jobs / %d tasks over %v (speedup %gx)\n",
+		len(workload.Jobs), workload.NumTasks(), *horizon, *speedup)
+
+	mode := firmament.ModeFirmament
+	if *quincy {
+		mode = firmament.ModeQuincy
+	}
+	res, err := firmament.Simulate(firmament.SimConfig{
+		Topology: firmament.Topology{
+			Racks:           (*machines + 24) / 25,
+			MachinesPerRack: 25,
+			SlotsPerMachine: 12,
+		},
+		Workload:   workload,
+		Seed:       1,
+		UseStorage: true,
+		MaxVirtual: *horizon * 3,
+		NewFlowScheduler: func(env *firmament.SimEnv) *firmament.Scheduler {
+			cfg := firmament.DefaultConfig()
+			cfg.Mode = mode
+			return firmament.NewScheduler(env.Cluster,
+				firmament.NewQuincyPolicy(env.Cluster, env.Store), cfg)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nscheduler: %s\n", res.SchedulerName)
+	fmt.Printf("rounds: %d   tasks completed: %d   preemptions: %d   migrations: %d\n",
+		res.Rounds, res.TasksCompleted, res.Preempted, res.Migrated)
+	fmt.Printf("input data locality: %.0f%%\n", res.Locality()*100)
+	fmt.Println("\ntask placement latency:")
+	for _, p := range []float64{25, 50, 75, 90, 99} {
+		fmt.Printf("  p%-3.0f %8.3fs\n", p, res.PlacementLatency.Percentile(p))
+	}
+	fmt.Println("\nalgorithm runtime per round:")
+	fmt.Printf("  median %8.3fs   p99 %8.3fs   winners: %v\n",
+		res.AlgorithmRuntime.Median(), res.AlgorithmRuntime.Percentile(99), res.Winners)
+}

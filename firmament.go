@@ -1,0 +1,218 @@
+// Package firmament is a from-scratch Go implementation of Firmament, the
+// fast, centralized, flow-based cluster scheduler of Gog et al. (OSDI 2016).
+//
+// Firmament models cluster scheduling as a min-cost max-flow (MCMF)
+// optimization over a flow network shaped by a pluggable scheduling policy,
+// and continuously reschedules the entire workload. It reaches sub-second
+// placement latencies on clusters of thousands of machines by running two
+// MCMF algorithms speculatively in parallel — relaxation, which is fastest
+// in the common case, and incremental cost scaling, which bounds the edge
+// cases — together with problem-specific heuristics (arc prioritization,
+// efficient task removal, price refine on algorithm switch).
+//
+// # Quickstart
+//
+//	cl := firmament.NewCluster(firmament.Topology{
+//		Racks: 2, MachinesPerRack: 8, SlotsPerMachine: 4,
+//	})
+//	sched := firmament.NewScheduler(cl, firmament.NewLoadSpreadPolicy(cl),
+//		firmament.DefaultConfig())
+//	cl.SubmitJob(firmament.Batch, 0, 0, make([]firmament.TaskSpec, 16))
+//	stats, applied, err := sched.RunOnce(0)
+//
+// The subsystems compose à la carte: cluster state (NewCluster), an
+// HDFS-like block store for data locality (NewStore), a max-min fair
+// network fabric (NewFabric), scheduling policies (NewQuincyPolicy,
+// NewLoadSpreadPolicy, NewNetworkAwarePolicy), a Google-trace-shaped
+// workload generator (GenerateTrace), baseline schedulers (NewSparrow and
+// friends), and a Fauxmaster-style discrete-event simulator (Simulate).
+package firmament
+
+import (
+	"time"
+
+	"firmament/internal/baselines"
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/netsim"
+	"firmament/internal/policy"
+	"firmament/internal/sim"
+	"firmament/internal/storage"
+	"firmament/internal/trace"
+)
+
+// Cluster state substrate (paper §2).
+type (
+	// Cluster is the authoritative cluster state: machines, racks, jobs,
+	// tasks, and the task lifecycle of paper Figure 1.
+	Cluster = cluster.Cluster
+	// Topology describes the cluster shape.
+	Topology = cluster.Topology
+	// TaskSpec describes one task at job submission.
+	TaskSpec = cluster.TaskSpec
+	// Task is one schedulable unit.
+	Task = cluster.Task
+	// Machine is one schedulable host.
+	Machine = cluster.Machine
+	// MachineID identifies a machine.
+	MachineID = cluster.MachineID
+	// TaskID identifies a task.
+	TaskID = cluster.TaskID
+	// JobID identifies a job.
+	JobID = cluster.JobID
+	// JobClass distinguishes batch from service jobs.
+	JobClass = cluster.JobClass
+)
+
+// Job classes.
+const (
+	Batch   = cluster.Batch
+	Service = cluster.Service
+)
+
+// NewCluster builds a cluster with the given topology.
+func NewCluster(topo Topology) *Cluster { return cluster.New(topo) }
+
+// Scheduler core (paper §3, §6).
+type (
+	// Scheduler is the Firmament scheduler engine.
+	Scheduler = core.Scheduler
+	// Config configures the scheduler.
+	Config = core.Config
+	// SolverMode selects the MCMF algorithm configuration.
+	SolverMode = core.SolverMode
+	// Round is one scheduling computation awaiting application.
+	Round = core.Round
+	// RoundStats quantifies one scheduling round.
+	RoundStats = core.RoundStats
+	// ApplyStats counts applied decisions.
+	ApplyStats = core.ApplyStats
+)
+
+// Solver modes (paper §6.1, §7.1).
+const (
+	// ModeFirmament races relaxation against incremental cost scaling.
+	ModeFirmament = core.ModeFirmament
+	// ModeRelaxationOnly runs only relaxation.
+	ModeRelaxationOnly = core.ModeRelaxationOnly
+	// ModeIncrementalCostScaling runs only incremental cost scaling.
+	ModeIncrementalCostScaling = core.ModeIncrementalCostScaling
+	// ModeQuincy runs from-scratch cost scaling, the Quincy baseline.
+	ModeQuincy = core.ModeQuincy
+)
+
+// DefaultConfig is Firmament's production configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewScheduler builds a scheduler over cl with the given policy.
+func NewScheduler(cl *Cluster, model CostModel, cfg Config) *Scheduler {
+	return core.NewScheduler(cl, model, cfg)
+}
+
+// Scheduling policies (paper §3.3).
+type (
+	// CostModel is the scheduling-policy API.
+	CostModel = policy.CostModel
+	// QuincyPolicy is the locality-oriented policy of Fig. 6b.
+	QuincyPolicy = policy.Quincy
+	// LoadSpreadPolicy is the load-spreading policy of Fig. 6a.
+	LoadSpreadPolicy = policy.LoadSpread
+	// NetworkAwarePolicy is the bandwidth-aware policy of Fig. 6c.
+	NetworkAwarePolicy = policy.NetworkAware
+)
+
+// NewLoadSpreadPolicy returns the load-spreading policy (paper Fig. 6a).
+func NewLoadSpreadPolicy(cl *Cluster) *LoadSpreadPolicy { return policy.NewLoadSpread(cl) }
+
+// NewQuincyPolicy returns the Quincy locality policy (paper Fig. 6b).
+func NewQuincyPolicy(cl *Cluster, store *Store) *QuincyPolicy { return policy.NewQuincy(cl, store) }
+
+// NewNetworkAwarePolicy returns the network-aware policy (paper Fig. 6c).
+// oracle may be a *Fabric or nil.
+func NewNetworkAwarePolicy(cl *Cluster, oracle policy.BandwidthOracle) *NetworkAwarePolicy {
+	return policy.NewNetworkAware(cl, oracle)
+}
+
+// Storage substrate (data locality, paper §7.2).
+type (
+	// Store is the HDFS-like replicated block store.
+	Store = storage.Store
+	// StoreConfig configures a Store.
+	StoreConfig = storage.Config
+)
+
+// NewStore builds a block store over the cluster's machines.
+func NewStore(cl *Cluster, cfg StoreConfig) *Store { return storage.NewStore(cl, cfg) }
+
+// Network substrate (testbed experiments, paper §7.5).
+type (
+	// Fabric is the max-min fair NIC-constrained network model.
+	Fabric = netsim.Fabric
+)
+
+// NewFabric builds a fabric with one NIC per cluster machine.
+func NewFabric(cl *Cluster) *Fabric { return netsim.NewFabric(cl) }
+
+// Workload generation (paper §7.1).
+type (
+	// Workload is a generated trace.
+	Workload = trace.Workload
+	// JobTrace is one job submission in a workload.
+	JobTrace = trace.JobTrace
+	// TaskTrace is one task of a traced job.
+	TaskTrace = trace.TaskTrace
+	// TraceConfig parameterizes workload generation.
+	TraceConfig = trace.Config
+)
+
+// GenerateTrace produces a Google-trace-shaped synthetic workload.
+func GenerateTrace(cfg TraceConfig) *Workload { return trace.Generate(cfg) }
+
+// UniformWorkload builds the regular workload of the breaking-point
+// experiment (paper Fig. 17).
+func UniformWorkload(tasksPerJob int, duration, interarrival, horizon time.Duration) *Workload {
+	return trace.Uniform(tasksPerJob, duration, interarrival, horizon)
+}
+
+// Baseline schedulers (paper §7.5).
+type (
+	// QueueScheduler is a task-by-task baseline scheduler.
+	QueueScheduler = baselines.QueueScheduler
+)
+
+// NewSparrow returns a Sparrow-like distributed sampler.
+func NewSparrow(cl *Cluster, seed int64) QueueScheduler { return baselines.NewSparrow(cl, seed) }
+
+// NewSwarmKit returns a Docker SwarmKit-like spreader.
+func NewSwarmKit(cl *Cluster) QueueScheduler { return baselines.NewSwarmKit(cl) }
+
+// NewKubernetes returns a kube-scheduler-like filter-and-score scheduler.
+func NewKubernetes(cl *Cluster) QueueScheduler { return baselines.NewKubernetes(cl) }
+
+// NewMesos returns a Mesos-like offer-based scheduler.
+func NewMesos(cl *Cluster, seed int64) QueueScheduler { return baselines.NewMesos(cl, seed) }
+
+// Simulation (paper §7.1).
+type (
+	// SimConfig configures a simulation run.
+	SimConfig = sim.Config
+	// SimEnv is the substrate handed to scheduler constructors.
+	SimEnv = sim.Env
+	// SimResults aggregates a run.
+	SimResults = sim.Results
+	// BackgroundFlow is persistent network traffic present for a whole
+	// simulation (the paper's iperf/nginx background jobs, §7.5).
+	BackgroundFlow = sim.BackgroundFlow
+	// NetClass is a network service class; lower classes have strict
+	// priority.
+	NetClass = netsim.Class
+)
+
+// Network service classes.
+const (
+	NetClassHigh   = netsim.ClassHigh
+	NetClassNormal = netsim.ClassNormal
+)
+
+// Simulate runs a trace-driven simulation to completion.
+func Simulate(cfg SimConfig) (*SimResults, error) { return sim.Run(cfg) }

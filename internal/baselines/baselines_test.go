@@ -1,0 +1,171 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"firmament/internal/cluster"
+)
+
+func testCluster() *cluster.Cluster {
+	return cluster.New(cluster.Topology{Racks: 2, MachinesPerRack: 4, SlotsPerMachine: 2})
+}
+
+func submit(cl *cluster.Cluster, n int) []cluster.TaskID {
+	job := cl.SubmitJob(cluster.Batch, 0, 0, make([]cluster.TaskSpec, n))
+	return job.Tasks
+}
+
+func allSchedulers(cl *cluster.Cluster) []QueueScheduler {
+	return []QueueScheduler{
+		NewSparrow(cl, 1),
+		NewSwarmKit(cl),
+		NewKubernetes(cl),
+		NewMesos(cl, 1),
+	}
+}
+
+func TestAllSchedulersPlaceOnFeasibleMachines(t *testing.T) {
+	for _, s := range allSchedulers(testCluster()) {
+		t.Run(s.Name(), func(t *testing.T) {
+			cl := testCluster()
+			var sched QueueScheduler
+			switch s.Name() {
+			case "sparrow":
+				sched = NewSparrow(cl, 1)
+			case "swarmkit":
+				sched = NewSwarmKit(cl)
+			case "kubernetes":
+				sched = NewKubernetes(cl)
+			case "mesos":
+				sched = NewMesos(cl, 1)
+			}
+			ids := submit(cl, 12)
+			placed := 0
+			for attempt := 0; attempt < 200 && placed < len(ids); attempt++ {
+				for _, id := range ids {
+					task := cl.Task(id)
+					if task.State != cluster.TaskPending {
+						continue
+					}
+					if m, ok := sched.PlaceTask(task, 0); ok {
+						if err := cl.Place(id, m, 0); err == nil {
+							placed++
+						}
+					}
+				}
+			}
+			// 16 slots, 12 tasks: everything must fit eventually.
+			if placed != 12 {
+				t.Fatalf("placed %d/12", placed)
+			}
+			cl.Machines(func(m *cluster.Machine) {
+				if m.Running() > m.Slots {
+					t.Fatalf("machine %d oversubscribed", m.ID)
+				}
+			})
+		})
+	}
+}
+
+func TestSchedulersReportFullCluster(t *testing.T) {
+	cl := cluster.New(cluster.Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 1})
+	fill := submit(cl, 2)
+	cl.Place(fill[0], 0, 0)
+	cl.Place(fill[1], 1, 0)
+	extra := submit(cl, 1)
+	task := cl.Task(extra[0])
+	for _, s := range []QueueScheduler{NewSwarmKit(cl), NewKubernetes(cl), NewMesos(cl, 1)} {
+		if _, ok := s.PlaceTask(task, 0); ok {
+			t.Fatalf("%s placed a task on a full cluster", s.Name())
+		}
+	}
+}
+
+func TestSwarmKitSpreadsLeastLoaded(t *testing.T) {
+	cl := testCluster()
+	s := NewSwarmKit(cl)
+	ids := submit(cl, 3)
+	cl.Place(ids[0], 0, 0)
+	cl.Place(ids[1], 0, 0) // machine 0 now full
+	m, ok := s.PlaceTask(cl.Task(ids[2]), 0)
+	if !ok || m == 0 {
+		t.Fatalf("swarmkit chose %v, want an empty machine", m)
+	}
+}
+
+func TestKubernetesSpreadsJobTasks(t *testing.T) {
+	cl := testCluster()
+	k := NewKubernetes(cl)
+	ids := submit(cl, 2)
+	m1, ok := k.PlaceTask(cl.Task(ids[0]), 0)
+	if !ok {
+		t.Fatal("no placement")
+	}
+	cl.Place(ids[0], m1, 0)
+	m2, ok := k.PlaceTask(cl.Task(ids[1]), 0)
+	if !ok {
+		t.Fatal("no placement for second task")
+	}
+	if m2 == m1 {
+		t.Fatal("kubernetes placed same-job tasks on one machine with empties available")
+	}
+}
+
+func TestSparrowSamplesAreSeeded(t *testing.T) {
+	run := func() []cluster.MachineID {
+		cl := testCluster()
+		s := NewSparrow(cl, 7)
+		ids := submit(cl, 6)
+		var out []cluster.MachineID
+		for _, id := range ids {
+			if m, ok := s.PlaceTask(cl.Task(id), 0); ok {
+				cl.Place(id, m, 0)
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic sparrow with same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic sparrow with same seed")
+		}
+	}
+}
+
+func TestDecisionLatenciesAndFlags(t *testing.T) {
+	cl := testCluster()
+	for _, s := range allSchedulers(cl) {
+		if s.DecisionLatency() <= 0 || s.DecisionLatency() > 50*time.Millisecond {
+			t.Fatalf("%s: implausible decision latency %v", s.Name(), s.DecisionLatency())
+		}
+	}
+	if !NewSparrow(cl, 1).Distributed() {
+		t.Fatal("sparrow must be distributed")
+	}
+	for _, s := range []QueueScheduler{NewSwarmKit(cl), NewKubernetes(cl), NewMesos(cl, 1)} {
+		if s.Distributed() {
+			t.Fatalf("%s must be centralized", s.Name())
+		}
+	}
+}
+
+func TestSchedulersSkipUnhealthyMachines(t *testing.T) {
+	cl := testCluster()
+	for m := 1; m < cl.NumMachines(); m++ {
+		cl.RemoveMachine(cluster.MachineID(m), 0)
+	}
+	ids := submit(cl, 1)
+	task := cl.Task(ids[0])
+	for _, s := range allSchedulers(cl) {
+		for i := 0; i < 20; i++ {
+			if m, ok := s.PlaceTask(task, 0); ok && m != 0 {
+				t.Fatalf("%s placed on unhealthy machine %d", s.Name(), m)
+			}
+		}
+	}
+}

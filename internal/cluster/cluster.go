@@ -1,0 +1,456 @@
+// Package cluster is the cluster-manager substrate Firmament schedules
+// against (paper §2): machines grouped into racks, each exposing task
+// slots; jobs composed of parallel tasks; and the task lifecycle of paper
+// Figure 1 (submitted → waiting → scheduling → running → completed).
+//
+// The package holds pure state plus an event log. The scheduler consumes
+// events (task submissions, completions, machine changes) to update its
+// flow network, and mutates state through Place/Preempt/Complete. Virtual
+// time is supplied by the caller (the simulator or a real clock); the
+// cluster never reads a wall clock.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// MachineID identifies a machine. IDs are dense indices.
+type MachineID int32
+
+// RackID identifies a rack. IDs are dense indices.
+type RackID int32
+
+// JobID identifies a job.
+type JobID int32
+
+// TaskID identifies a task across all jobs.
+type TaskID int64
+
+// InvalidMachine is the "not placed" sentinel.
+const InvalidMachine MachineID = -1
+
+// TaskState is a stage of the task lifecycle (paper Figure 1).
+type TaskState uint8
+
+// Task lifecycle states.
+const (
+	TaskPending TaskState = iota // submitted, waiting for placement
+	TaskRunning
+	TaskCompleted
+	TaskFailed
+)
+
+// String returns a short name for the state.
+func (s TaskState) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskRunning:
+		return "running"
+	case TaskCompleted:
+		return "completed"
+	case TaskFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// JobClass distinguishes the two workload types of the Google trace
+// (paper §7.1, classified by priority as in Omega).
+type JobClass uint8
+
+// Job classes.
+const (
+	Batch JobClass = iota
+	Service
+)
+
+// String returns a short name for the class.
+func (c JobClass) String() string {
+	if c == Service {
+		return "service"
+	}
+	return "batch"
+}
+
+// Task is one schedulable unit of a job.
+type Task struct {
+	ID    TaskID
+	Job   JobID
+	Index int // i-th task of its job, as in the paper's T(j,i)
+
+	// Workload properties.
+	Duration  time.Duration // compute time once running
+	InputFile int64         // storage file ID; <0 if no input
+	InputSize int64         // bytes
+	NetDemand int64         // bytes/sec the task requests (network-aware policy)
+
+	// Lifecycle.
+	State       TaskState
+	SubmitTime  time.Duration
+	StartTime   time.Duration
+	FinishTime  time.Duration
+	Machine     MachineID // placement while running
+	Preemptions int
+}
+
+// Job is a set of parallel tasks sharing a class and priority.
+type Job struct {
+	ID         JobID
+	Class      JobClass
+	Priority   int
+	SubmitTime time.Duration
+	Tasks      []TaskID
+	remaining  int // tasks not yet completed
+}
+
+// Machine is a schedulable host.
+type Machine struct {
+	ID       MachineID
+	Rack     RackID
+	Slots    int
+	NICBps   int64 // full-duplex NIC capacity in bytes/sec
+	running  map[TaskID]struct{}
+	healthy  bool
+	reserved int64 // sum of NetDemand of tasks placed here
+}
+
+// Running returns the number of tasks currently on the machine.
+func (m *Machine) Running() int { return len(m.running) }
+
+// Healthy reports whether the machine is accepting tasks.
+func (m *Machine) Healthy() bool { return m.healthy }
+
+// ReservedBandwidth returns the sum of network demands placed on the
+// machine (the "requested" component of the network-aware policy).
+func (m *Machine) ReservedBandwidth() int64 { return m.reserved }
+
+// Topology describes the shape of a cluster.
+type Topology struct {
+	Racks           int
+	MachinesPerRack int
+	SlotsPerMachine int
+	NICBps          int64 // defaults to 10 Gb/s if zero
+}
+
+// EventKind classifies a cluster event.
+type EventKind uint8
+
+// Cluster event kinds the scheduler reacts to.
+const (
+	EventTaskSubmitted EventKind = iota
+	EventTaskCompleted
+	EventTaskEvicted // failed machine or external kill; task back to pending
+	EventMachineAdded
+	EventMachineRemoved
+)
+
+// Event is one entry in the cluster's event log.
+type Event struct {
+	Kind    EventKind
+	Task    TaskID
+	Machine MachineID
+	Time    time.Duration
+}
+
+// Hooks observe task state transitions. The simulator uses them to arm
+// completion timers and start input transfers; all fields are optional.
+type Hooks struct {
+	Placed    func(t *Task, now time.Duration)
+	Preempted func(t *Task, now time.Duration)
+}
+
+// Cluster is the authoritative cluster state.
+type Cluster struct {
+	// Hooks are invoked on state transitions when set.
+	Hooks Hooks
+
+	topo     Topology
+	machines []*Machine
+	racks    [][]MachineID
+	jobs     map[JobID]*Job
+	tasks    map[TaskID]*Task
+	nextJob  JobID
+	nextTask TaskID
+	events   []Event
+	pending  map[TaskID]struct{}
+}
+
+// New builds a cluster with the given topology. All machines start healthy
+// and empty; no events are emitted for the initial machines.
+func New(topo Topology) *Cluster {
+	if topo.NICBps == 0 {
+		topo.NICBps = 10 * 1000 * 1000 * 1000 / 8 // 10 Gb/s in bytes/sec
+	}
+	c := &Cluster{
+		topo:    topo,
+		jobs:    make(map[JobID]*Job),
+		tasks:   make(map[TaskID]*Task),
+		racks:   make([][]MachineID, topo.Racks),
+		pending: make(map[TaskID]struct{}),
+	}
+	for r := 0; r < topo.Racks; r++ {
+		for i := 0; i < topo.MachinesPerRack; i++ {
+			id := MachineID(len(c.machines))
+			m := &Machine{
+				ID:      id,
+				Rack:    RackID(r),
+				Slots:   topo.SlotsPerMachine,
+				NICBps:  topo.NICBps,
+				running: make(map[TaskID]struct{}),
+				healthy: true,
+			}
+			c.machines = append(c.machines, m)
+			c.racks[r] = append(c.racks[r], id)
+		}
+	}
+	return c
+}
+
+// Topology returns the construction topology.
+func (c *Cluster) Topology() Topology { return c.topo }
+
+// NumMachines returns the machine count (including unhealthy machines).
+func (c *Cluster) NumMachines() int { return len(c.machines) }
+
+// NumRacks returns the rack count.
+func (c *Cluster) NumRacks() int { return len(c.racks) }
+
+// Machine returns the machine with the given ID.
+func (c *Cluster) Machine(id MachineID) *Machine { return c.machines[id] }
+
+// Machines calls fn for every machine in ID order.
+func (c *Cluster) Machines(fn func(*Machine)) {
+	for _, m := range c.machines {
+		fn(m)
+	}
+}
+
+// RackMachines returns the machine IDs in a rack. The returned slice must
+// not be modified.
+func (c *Cluster) RackMachines(r RackID) []MachineID { return c.racks[r] }
+
+// RackOf returns the rack of a machine.
+func (c *Cluster) RackOf(id MachineID) RackID { return c.machines[id].Rack }
+
+// Task returns the task with the given ID, or nil.
+func (c *Cluster) Task(id TaskID) *Task { return c.tasks[id] }
+
+// Job returns the job with the given ID, or nil.
+func (c *Cluster) Job(id JobID) *Job { return c.jobs[id] }
+
+// Jobs calls fn for every job. Iteration order is unspecified.
+func (c *Cluster) Jobs(fn func(*Job)) {
+	for _, j := range c.jobs {
+		fn(j)
+	}
+}
+
+// PendingTasks returns the IDs of tasks waiting for placement. The order is
+// unspecified; callers needing determinism must sort.
+func (c *Cluster) PendingTasks() []TaskID {
+	out := make([]TaskID, 0, len(c.pending))
+	for id := range c.pending {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NumPending returns the number of tasks waiting for placement.
+func (c *Cluster) NumPending() int { return len(c.pending) }
+
+// NumRunning returns the number of running tasks.
+func (c *Cluster) NumRunning() int {
+	n := 0
+	for _, m := range c.machines {
+		n += len(m.running)
+	}
+	return n
+}
+
+// TotalSlots returns the slot count over healthy machines.
+func (c *Cluster) TotalSlots() int {
+	n := 0
+	for _, m := range c.machines {
+		if m.healthy {
+			n += m.Slots
+		}
+	}
+	return n
+}
+
+// SlotUtilization returns running tasks / healthy slots.
+func (c *Cluster) SlotUtilization() float64 {
+	slots := c.TotalSlots()
+	if slots == 0 {
+		return 0
+	}
+	return float64(c.NumRunning()) / float64(slots)
+}
+
+// SubmitJob registers a job and its tasks at the given virtual time,
+// emitting one EventTaskSubmitted per task. The specs slice supplies one
+// entry per task.
+func (c *Cluster) SubmitJob(class JobClass, priority int, now time.Duration, specs []TaskSpec) *Job {
+	job := &Job{
+		ID:         c.nextJob,
+		Class:      class,
+		Priority:   priority,
+		SubmitTime: now,
+		remaining:  len(specs),
+	}
+	c.nextJob++
+	c.jobs[job.ID] = job
+	for i, spec := range specs {
+		t := &Task{
+			ID:         c.nextTask,
+			Job:        job.ID,
+			Index:      i,
+			Duration:   spec.Duration,
+			InputFile:  spec.InputFile,
+			InputSize:  spec.InputSize,
+			NetDemand:  spec.NetDemand,
+			State:      TaskPending,
+			SubmitTime: now,
+			Machine:    InvalidMachine,
+		}
+		c.nextTask++
+		c.tasks[t.ID] = t
+		job.Tasks = append(job.Tasks, t.ID)
+		c.pending[t.ID] = struct{}{}
+		c.events = append(c.events, Event{Kind: EventTaskSubmitted, Task: t.ID, Time: now})
+	}
+	return job
+}
+
+// TaskSpec describes one task at submission.
+type TaskSpec struct {
+	Duration  time.Duration
+	InputFile int64
+	InputSize int64
+	NetDemand int64
+}
+
+// Place moves a pending task to running on the given machine. It returns an
+// error if the task is not pending, the machine is unhealthy, or the
+// machine has no free slot.
+func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
+	t, ok := c.tasks[id]
+	if !ok {
+		return fmt.Errorf("cluster: place of unknown task %d", id)
+	}
+	if t.State != TaskPending {
+		return fmt.Errorf("cluster: place of task %d in state %s", id, t.State)
+	}
+	mach := c.machines[m]
+	if !mach.healthy {
+		return fmt.Errorf("cluster: place of task %d on unhealthy machine %d", id, m)
+	}
+	if len(mach.running) >= mach.Slots {
+		return fmt.Errorf("cluster: machine %d has no free slot for task %d", m, id)
+	}
+	t.State = TaskRunning
+	t.Machine = m
+	t.StartTime = now
+	mach.running[id] = struct{}{}
+	mach.reserved += t.NetDemand
+	delete(c.pending, id)
+	if c.Hooks.Placed != nil {
+		c.Hooks.Placed(t, now)
+	}
+	return nil
+}
+
+// Preempt stops a running task and returns it to the pending queue
+// (flow-based scheduling may preempt and migrate tasks, paper §2.2).
+func (c *Cluster) Preempt(id TaskID, now time.Duration) error {
+	t, ok := c.tasks[id]
+	if !ok || t.State != TaskRunning {
+		return fmt.Errorf("cluster: preempt of task %d not running", id)
+	}
+	c.detach(t)
+	t.State = TaskPending
+	t.Preemptions++
+	c.pending[id] = struct{}{}
+	c.events = append(c.events, Event{Kind: EventTaskEvicted, Task: id, Machine: t.Machine, Time: now})
+	t.Machine = InvalidMachine
+	if c.Hooks.Preempted != nil {
+		c.Hooks.Preempted(t, now)
+	}
+	return nil
+}
+
+// Complete marks a running task finished, freeing its slot and emitting
+// EventTaskCompleted.
+func (c *Cluster) Complete(id TaskID, now time.Duration) error {
+	t, ok := c.tasks[id]
+	if !ok || t.State != TaskRunning {
+		return fmt.Errorf("cluster: complete of task %d not running", id)
+	}
+	m := t.Machine
+	c.detach(t)
+	t.State = TaskCompleted
+	t.FinishTime = now
+	t.Machine = InvalidMachine
+	job := c.jobs[t.Job]
+	job.remaining--
+	c.events = append(c.events, Event{Kind: EventTaskCompleted, Task: id, Machine: m, Time: now})
+	return nil
+}
+
+// JobDone reports whether all tasks of the job have completed.
+func (c *Cluster) JobDone(id JobID) bool { return c.jobs[id].remaining == 0 }
+
+// RemoveMachine marks a machine unhealthy and evicts its tasks back to
+// pending, emitting EventMachineRemoved plus one EventTaskEvicted per task.
+func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
+	m := c.machines[id]
+	if !m.healthy {
+		return
+	}
+	m.healthy = false
+	for tid := range m.running {
+		t := c.tasks[tid]
+		c.detach(t)
+		t.State = TaskPending
+		t.Preemptions++
+		t.Machine = InvalidMachine
+		c.pending[tid] = struct{}{}
+		c.events = append(c.events, Event{Kind: EventTaskEvicted, Task: tid, Machine: id, Time: now})
+		if c.Hooks.Preempted != nil {
+			c.Hooks.Preempted(t, now)
+		}
+	}
+	c.events = append(c.events, Event{Kind: EventMachineRemoved, Machine: id, Time: now})
+}
+
+// RestoreMachine returns an unhealthy machine to service.
+func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
+	m := c.machines[id]
+	if m.healthy {
+		return
+	}
+	m.healthy = true
+	c.events = append(c.events, Event{Kind: EventMachineAdded, Machine: id, Time: now})
+}
+
+// DrainEvents returns all events logged since the previous drain and clears
+// the log. Schedulers call this once per scheduling round (paper Fig. 2b:
+// "change detected" → "graph updated").
+func (c *Cluster) DrainEvents() []Event {
+	ev := c.events
+	c.events = nil
+	return ev
+}
+
+// detach removes a task from its machine's bookkeeping.
+func (c *Cluster) detach(t *Task) {
+	if t.Machine == InvalidMachine {
+		return
+	}
+	m := c.machines[t.Machine]
+	delete(m.running, t.ID)
+	m.reserved -= t.NetDemand
+}

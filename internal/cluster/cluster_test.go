@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func testTopo() Topology {
+	return Topology{Racks: 2, MachinesPerRack: 3, SlotsPerMachine: 4}
+}
+
+func TestNewClusterTopology(t *testing.T) {
+	c := New(testTopo())
+	if c.NumMachines() != 6 || c.NumRacks() != 2 {
+		t.Fatalf("machines=%d racks=%d, want 6/2", c.NumMachines(), c.NumRacks())
+	}
+	if c.TotalSlots() != 24 {
+		t.Fatalf("TotalSlots = %d, want 24", c.TotalSlots())
+	}
+	if got := c.RackOf(4); got != 1 {
+		t.Fatalf("RackOf(4) = %d, want 1", got)
+	}
+	if len(c.RackMachines(0)) != 3 {
+		t.Fatalf("rack 0 has %d machines, want 3", len(c.RackMachines(0)))
+	}
+	if c.Machine(0).NICBps != 10*1000*1000*1000/8 {
+		t.Fatalf("default NIC = %d, want 10 Gb/s", c.Machine(0).NICBps)
+	}
+}
+
+func TestTaskLifecycle(t *testing.T) {
+	c := New(testTopo())
+	job := c.SubmitJob(Batch, 1, 10*time.Second, []TaskSpec{
+		{Duration: 5 * time.Second},
+		{Duration: 6 * time.Second},
+	})
+	if len(job.Tasks) != 2 || c.NumPending() != 2 {
+		t.Fatalf("tasks=%d pending=%d, want 2/2", len(job.Tasks), c.NumPending())
+	}
+	ev := c.DrainEvents()
+	if len(ev) != 2 || ev[0].Kind != EventTaskSubmitted {
+		t.Fatalf("events = %+v, want 2 submissions", ev)
+	}
+	id := job.Tasks[0]
+	if err := c.Place(id, 2, 11*time.Second); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	task := c.Task(id)
+	if task.State != TaskRunning || task.Machine != 2 || task.StartTime != 11*time.Second {
+		t.Fatalf("task after place: %+v", task)
+	}
+	if c.Machine(2).Running() != 1 || c.NumPending() != 1 {
+		t.Fatal("machine/pending counts wrong after place")
+	}
+	if err := c.Place(id, 3, 0); err == nil {
+		t.Fatal("double place succeeded")
+	}
+	if err := c.Complete(id, 16*time.Second); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if task.State != TaskCompleted || task.FinishTime != 16*time.Second || task.Machine != InvalidMachine {
+		t.Fatalf("task after complete: %+v", task)
+	}
+	if c.JobDone(job.ID) {
+		t.Fatal("job done with one task still pending")
+	}
+	ev = c.DrainEvents()
+	if len(ev) != 1 || ev[0].Kind != EventTaskCompleted || ev[0].Machine != 2 {
+		t.Fatalf("completion event = %+v", ev)
+	}
+}
+
+func TestPlaceRespectsSlots(t *testing.T) {
+	c := New(Topology{Racks: 1, MachinesPerRack: 1, SlotsPerMachine: 1})
+	job := c.SubmitJob(Batch, 0, 0, []TaskSpec{{}, {}})
+	if err := c.Place(job.Tasks[0], 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(job.Tasks[1], 0, 0); err == nil {
+		t.Fatal("overcommitted slot accepted")
+	}
+}
+
+func TestPreemptReturnsToPending(t *testing.T) {
+	c := New(testTopo())
+	job := c.SubmitJob(Service, 9, 0, []TaskSpec{{NetDemand: 100}})
+	id := job.Tasks[0]
+	if err := c.Place(id, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Machine(0).ReservedBandwidth(); got != 100 {
+		t.Fatalf("reserved = %d, want 100", got)
+	}
+	if err := c.Preempt(id, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	task := c.Task(id)
+	if task.State != TaskPending || task.Preemptions != 1 || task.Machine != InvalidMachine {
+		t.Fatalf("task after preempt: %+v", task)
+	}
+	if got := c.Machine(0).ReservedBandwidth(); got != 0 {
+		t.Fatalf("reserved = %d after preempt, want 0", got)
+	}
+	c.DrainEvents()
+	if c.NumPending() != 1 {
+		t.Fatal("task not back in pending queue")
+	}
+}
+
+func TestRemoveMachineEvictsTasks(t *testing.T) {
+	c := New(testTopo())
+	job := c.SubmitJob(Batch, 0, 0, []TaskSpec{{}, {}})
+	c.Place(job.Tasks[0], 1, 0)
+	c.Place(job.Tasks[1], 1, 0)
+	c.DrainEvents()
+	c.RemoveMachine(1, time.Minute)
+	if c.Machine(1).Healthy() {
+		t.Fatal("machine still healthy")
+	}
+	if c.NumPending() != 2 || c.NumRunning() != 0 {
+		t.Fatalf("pending=%d running=%d, want 2/0", c.NumPending(), c.NumRunning())
+	}
+	ev := c.DrainEvents()
+	evictions, removals := 0, 0
+	for _, e := range ev {
+		switch e.Kind {
+		case EventTaskEvicted:
+			evictions++
+		case EventMachineRemoved:
+			removals++
+		}
+	}
+	if evictions != 2 || removals != 1 {
+		t.Fatalf("evictions=%d removals=%d, want 2/1", evictions, removals)
+	}
+	if err := c.Place(job.Tasks[0], 1, 0); err == nil {
+		t.Fatal("placed task on unhealthy machine")
+	}
+	if c.TotalSlots() != 20 {
+		t.Fatalf("TotalSlots = %d after removal, want 20", c.TotalSlots())
+	}
+	c.RestoreMachine(1, 2*time.Minute)
+	if !c.Machine(1).Healthy() || c.TotalSlots() != 24 {
+		t.Fatal("restore failed")
+	}
+}
+
+func TestSlotUtilization(t *testing.T) {
+	c := New(Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 2})
+	job := c.SubmitJob(Batch, 0, 0, []TaskSpec{{}, {}})
+	c.Place(job.Tasks[0], 0, 0)
+	if u := c.SlotUtilization(); u != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+	c.Place(job.Tasks[1], 1, 0)
+	if u := c.SlotUtilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestJobDone(t *testing.T) {
+	c := New(testTopo())
+	job := c.SubmitJob(Batch, 0, 0, []TaskSpec{{}, {}})
+	c.Place(job.Tasks[0], 0, 0)
+	c.Place(job.Tasks[1], 1, 0)
+	c.Complete(job.Tasks[0], time.Second)
+	if c.JobDone(job.ID) {
+		t.Fatal("JobDone early")
+	}
+	c.Complete(job.Tasks[1], 2*time.Second)
+	if !c.JobDone(job.ID) {
+		t.Fatal("JobDone not reported")
+	}
+}

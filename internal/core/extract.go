@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+
+	"firmament/internal/cluster"
+	"firmament/internal/flow"
+)
+
+// ExtractPlacements implements the task placement extraction algorithm of
+// paper Listing 1, generalized for arbitrary aggregator hierarchies: start
+// from the machine nodes, which know how much flow they drain to the sink,
+// and propagate "machine tokens" backwards along incoming arcs that carry
+// flow until every token reaches a task node. Tasks that do not receive a
+// token route their flow through an unscheduled aggregator and stay
+// unscheduled.
+//
+// In the common case the algorithm touches every flow-carrying arc exactly
+// once — a single pass over the graph (paper §6.3).
+func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID {
+	g := gm.g
+	mappings := make(map[cluster.TaskID]cluster.MachineID, gm.numTasks)
+	// Tokens waiting at each node to be attributed to incoming flow.
+	tokens := make(map[flow.NodeID][]cluster.MachineID)
+	// Per-arc flow still unattributed (lazily initialized from Flow).
+	remaining := make(map[flow.ArcID]int64)
+	queued := make(map[flow.NodeID]bool)
+	var queue []flow.NodeID
+
+	mids := make([]cluster.MachineID, 0, len(gm.machineNode))
+	for mid := range gm.machineNode {
+		mids = append(mids, mid)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	for _, mid := range mids {
+		mnode := gm.machineNode[mid]
+		f := g.Flow(gm.machineSink[mid])
+		if f <= 0 {
+			continue
+		}
+		ts := make([]cluster.MachineID, f)
+		for i := range ts {
+			ts[i] = mid
+		}
+		tokens[mnode] = ts
+		queue = append(queue, mnode)
+		queued[mnode] = true
+	}
+
+	for len(queue) > 0 {
+		node := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queued[node] = false
+
+		if tid, isTask := gm.nodeTask[node]; isTask {
+			// A task holds exactly one unit of flow; its (single) token is
+			// its placement.
+			if ts := tokens[node]; len(ts) > 0 {
+				mappings[tid] = ts[0]
+				tokens[node] = ts[:0]
+			}
+			continue
+		}
+		ts := tokens[node]
+		if len(ts) == 0 {
+			continue
+		}
+		// Visit incoming arcs: the in-arcs of node are the reverse partners
+		// of its adjacency entries. Move as many tokens to each arc's
+		// source as that arc carries unattributed flow.
+		for b := g.FirstOut(node); b != flow.InvalidArc && len(ts) > 0; b = g.NextOut(b) {
+			in := g.Reverse(b)
+			if !g.IsForward(in) {
+				continue // b itself is the forward arc out of node
+			}
+			rem, ok := remaining[in]
+			if !ok {
+				rem = g.Flow(in)
+			}
+			if rem <= 0 {
+				continue
+			}
+			src := g.Head(b) // tail of the incoming arc
+			move := rem
+			if int64(len(ts)) < move {
+				move = int64(len(ts))
+			}
+			tokens[src] = append(tokens[src], ts[len(ts)-int(move):]...)
+			ts = ts[:len(ts)-int(move)]
+			remaining[in] = rem - move
+			if !queued[src] {
+				queue = append(queue, src)
+				queued[src] = true
+			}
+		}
+		tokens[node] = ts
+	}
+	return mappings
+}

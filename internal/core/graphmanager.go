@@ -1,0 +1,478 @@
+// Package core is Firmament's scheduler engine (paper §3, §6): it maintains
+// the flow network that encodes the scheduling problem, runs the
+// speculative dual-algorithm MCMF solver pool, extracts task placements
+// from the optimal flow, and applies them to the cluster.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/flow"
+	"firmament/internal/policy"
+)
+
+// machineArcKey identifies one aggregator→machine arc: policies may emit
+// parallel arcs to the same machine distinguished by MachineArc.Key (e.g.
+// graduated occupancy-level pricing).
+type machineArcKey struct {
+	machine cluster.MachineID
+	key     int64
+}
+
+// GraphManager owns the mapping between cluster state and the flow network
+// (paper Fig. 4: "the scheduling policy modifies the flow network according
+// to workload, cluster, and monitoring data"). It translates cluster events
+// into incremental graph changes (§5.2) and performs the two-pass
+// flow-network update before each solver run (§6.3).
+type GraphManager struct {
+	g     *flow.Graph
+	cl    *cluster.Cluster
+	model policy.CostModel
+	hier  policy.HierarchicalCostModel // nil unless the model is hierarchical
+
+	sink flow.NodeID
+
+	machineNode map[cluster.MachineID]flow.NodeID
+	machineSink map[cluster.MachineID]flow.ArcID
+	nodeMachine map[flow.NodeID]cluster.MachineID
+
+	taskNode map[cluster.TaskID]flow.NodeID
+	nodeTask map[flow.NodeID]cluster.TaskID
+
+	unschedNode map[cluster.JobID]flow.NodeID
+	unschedSink map[cluster.JobID]flow.ArcID
+	jobAlive    map[cluster.JobID]int64
+
+	aggNode map[policy.AggID]flow.NodeID
+
+	taskUnschedArc map[cluster.TaskID]flow.ArcID
+	taskArcs       map[cluster.TaskID]map[policy.ArcTarget]flow.ArcID
+	aggMachineArcs map[policy.AggID]map[machineArcKey]flow.ArcID
+	aggAggArcs     map[policy.AggID]map[policy.AggID]flow.ArcID
+
+	changes  flow.ChangeSet
+	numTasks int64
+
+	// TaskRemovalHeuristic enables the §5.3.2 optimization: when a task
+	// node is removed, its unit of flow is drained along its path to the
+	// sink first, preserving feasibility for incremental cost scaling.
+	TaskRemovalHeuristic bool
+
+	// DrainLog, when non-nil, records the surviving arcs the removal
+	// heuristic drained, so experiments can reconstruct the non-drained
+	// state on a graph clone (Figure 12b's controlled comparison).
+	DrainLog *[]flow.ArcID
+}
+
+// NewGraphManager builds the initial flow network for cl: a sink node and
+// one node per healthy machine with a slot-capacity arc to the sink.
+func NewGraphManager(cl *cluster.Cluster, model policy.CostModel) *GraphManager {
+	gm := &GraphManager{
+		g:              flow.NewGraph(cl.NumMachines()*2+16, cl.NumMachines()*4+16),
+		cl:             cl,
+		model:          model,
+		machineNode:    make(map[cluster.MachineID]flow.NodeID),
+		machineSink:    make(map[cluster.MachineID]flow.ArcID),
+		nodeMachine:    make(map[flow.NodeID]cluster.MachineID),
+		taskNode:       make(map[cluster.TaskID]flow.NodeID),
+		nodeTask:       make(map[flow.NodeID]cluster.TaskID),
+		unschedNode:    make(map[cluster.JobID]flow.NodeID),
+		unschedSink:    make(map[cluster.JobID]flow.ArcID),
+		jobAlive:       make(map[cluster.JobID]int64),
+		aggNode:        make(map[policy.AggID]flow.NodeID),
+		taskUnschedArc: make(map[cluster.TaskID]flow.ArcID),
+		taskArcs:       make(map[cluster.TaskID]map[policy.ArcTarget]flow.ArcID),
+		aggMachineArcs: make(map[policy.AggID]map[machineArcKey]flow.ArcID),
+		aggAggArcs:     make(map[policy.AggID]map[policy.AggID]flow.ArcID),
+
+		TaskRemovalHeuristic: true,
+	}
+	if h, ok := model.(policy.HierarchicalCostModel); ok {
+		gm.hier = h
+	}
+	gm.sink = gm.g.AddNode(0, flow.KindSink)
+	cl.Machines(func(m *cluster.Machine) {
+		if m.Healthy() {
+			gm.addMachine(m.ID)
+		}
+	})
+	return gm
+}
+
+// Graph exposes the managed flow network (the solver pool operates on it).
+func (gm *GraphManager) Graph() *flow.Graph { return gm.g }
+
+// Changes exposes the change set accumulated since the last Reset.
+func (gm *GraphManager) Changes() *flow.ChangeSet { return &gm.changes }
+
+// NumTasks returns the number of task nodes currently in the graph.
+func (gm *GraphManager) NumTasks() int64 { return gm.numTasks }
+
+func (gm *GraphManager) addMachine(id cluster.MachineID) {
+	if _, ok := gm.machineNode[id]; ok {
+		return
+	}
+	n := gm.g.AddNode(0, flow.KindMachine)
+	gm.machineNode[id] = n
+	gm.nodeMachine[n] = id
+	a := gm.g.AddArc(n, gm.sink, int64(gm.cl.Machine(id).Slots), 0)
+	gm.machineSink[id] = a
+	gm.changes.Record(flow.Change{Kind: flow.ChangeAddNode, Node: n})
+}
+
+func (gm *GraphManager) removeMachine(id cluster.MachineID) {
+	n, ok := gm.machineNode[id]
+	if !ok {
+		return
+	}
+	// Drop aggregator arc records pointing at this machine; the arcs
+	// themselves die with the node.
+	for _, arcs := range gm.aggMachineArcs {
+		for k := range arcs {
+			if k.machine == id {
+				delete(arcs, k)
+			}
+		}
+	}
+	// Task arc records (running/preference arcs) pointing at the machine.
+	for tid, arcs := range gm.taskArcs {
+		for target := range arcs {
+			if target.Machine == id {
+				delete(arcs, target)
+			}
+		}
+		_ = tid
+	}
+	gm.g.RemoveNode(n)
+	delete(gm.machineNode, id)
+	delete(gm.machineSink, id)
+	delete(gm.nodeMachine, n)
+	gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveNode, Node: n})
+}
+
+// ensureUnsched returns the unscheduled aggregator node for a job,
+// creating it (and its sink arc) on first use.
+func (gm *GraphManager) ensureUnsched(j cluster.JobID) flow.NodeID {
+	if n, ok := gm.unschedNode[j]; ok {
+		return n
+	}
+	n := gm.g.AddNode(0, flow.KindUnsched)
+	a := gm.g.AddArc(n, gm.sink, 0, 0)
+	gm.unschedNode[j] = n
+	gm.unschedSink[j] = a
+	gm.changes.Record(flow.Change{Kind: flow.ChangeAddNode, Node: n})
+	return n
+}
+
+func (gm *GraphManager) addTask(id cluster.TaskID) {
+	if _, ok := gm.taskNode[id]; ok {
+		return
+	}
+	t := gm.cl.Task(id)
+	n := gm.g.AddNode(1, flow.KindTask)
+	gm.taskNode[id] = n
+	gm.nodeTask[n] = id
+	gm.taskArcs[id] = make(map[policy.ArcTarget]flow.ArcID)
+	un := gm.ensureUnsched(t.Job)
+	gm.taskUnschedArc[id] = gm.g.AddArc(n, un, 1, 0)
+	gm.jobAlive[t.Job]++
+	gm.g.SetArcCapacity(gm.unschedSink[t.Job], gm.jobAlive[t.Job])
+	gm.numTasks++
+	gm.g.SetSupply(gm.sink, -gm.numTasks)
+	gm.changes.Record(flow.Change{Kind: flow.ChangeAddNode, Node: n})
+	gm.changes.Record(flow.Change{Kind: flow.ChangeSupply, Node: gm.sink})
+}
+
+func (gm *GraphManager) removeTask(id cluster.TaskID) {
+	n, ok := gm.taskNode[id]
+	if !ok {
+		return
+	}
+	if gm.TaskRemovalHeuristic {
+		gm.drainTaskFlow(n)
+	}
+	t := gm.cl.Task(id)
+	gm.g.RemoveNode(n)
+	delete(gm.taskNode, id)
+	delete(gm.nodeTask, n)
+	delete(gm.taskArcs, id)
+	delete(gm.taskUnschedArc, id)
+	gm.numTasks--
+	gm.g.SetSupply(gm.sink, -gm.numTasks)
+	gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveNode, Node: n})
+	gm.changes.Record(flow.Change{Kind: flow.ChangeSupply, Node: gm.sink})
+
+	gm.jobAlive[t.Job]--
+	if gm.jobAlive[t.Job] <= 0 {
+		// Last task of the job: retire its unscheduled aggregator.
+		if un, ok := gm.unschedNode[t.Job]; ok {
+			gm.g.RemoveNode(un)
+			gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveNode, Node: un})
+		}
+		delete(gm.unschedNode, t.Job)
+		delete(gm.unschedSink, t.Job)
+		delete(gm.jobAlive, t.Job)
+	} else {
+		gm.g.SetArcCapacity(gm.unschedSink[t.Job], gm.jobAlive[t.Job])
+	}
+}
+
+// drainTaskFlow implements the efficient task removal heuristic (paper
+// §5.3.2): reconstruct the (unit) flow the task sends to the sink and
+// remove it hop by hop, so deleting the node afterwards leaves a feasible
+// flow and incremental cost scaling does not pay to restore feasibility.
+func (gm *GraphManager) drainTaskFlow(taskNode flow.NodeID) {
+	cur := taskNode
+	for cur != gm.sink {
+		var carrier flow.ArcID = flow.InvalidArc
+		for a := gm.g.FirstOut(cur); a != flow.InvalidArc; a = gm.g.NextOut(a) {
+			if gm.g.IsForward(a) && gm.g.Flow(a) > 0 {
+				carrier = a
+				break
+			}
+		}
+		if carrier == flow.InvalidArc {
+			return // task had no flow (never scheduled in last solution)
+		}
+		next := gm.g.Head(carrier)
+		gm.g.Push(gm.g.Reverse(carrier), 1)
+		if gm.DrainLog != nil && cur != taskNode {
+			*gm.DrainLog = append(*gm.DrainLog, carrier)
+		}
+		cur = next
+	}
+}
+
+// ApplyEvents folds a batch of cluster events into the graph. All cluster
+// events reduce to supply, capacity, and cost changes (paper §5.2).
+func (gm *GraphManager) ApplyEvents(events []cluster.Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case cluster.EventTaskSubmitted:
+			gm.addTask(ev.Task)
+		case cluster.EventTaskCompleted:
+			gm.removeTask(ev.Task)
+		case cluster.EventTaskEvicted:
+			// The task stays in the graph; its arcs are rebuilt by the next
+			// UpdateRound since its state changed to pending.
+		case cluster.EventMachineAdded:
+			gm.addMachine(ev.Machine)
+		case cluster.EventMachineRemoved:
+			gm.removeMachine(ev.Machine)
+		}
+	}
+}
+
+// UpdateRound performs the second update traversal (paper §6.3): it asks
+// the policy for the desired arcs of every aggregator and task and diffs
+// them against the graph, recording every change for the incremental
+// solvers.
+func (gm *GraphManager) UpdateRound(now time.Duration) {
+	gm.model.BeginRound(now)
+	gm.updateAggregators(now)
+	gm.updateTasks(now)
+	gm.updateMachineCapacities()
+}
+
+func (gm *GraphManager) updateAggregators(now time.Duration) {
+	desired := gm.model.Aggregators()
+	want := make(map[policy.AggID]bool, len(desired))
+	for _, id := range desired {
+		want[id] = true
+		if _, ok := gm.aggNode[id]; !ok {
+			n := gm.g.AddNode(0, flow.KindAggregator)
+			gm.aggNode[id] = n
+			gm.aggMachineArcs[id] = make(map[machineArcKey]flow.ArcID)
+			gm.aggAggArcs[id] = make(map[policy.AggID]flow.ArcID)
+			gm.changes.Record(flow.Change{Kind: flow.ChangeAddNode, Node: n})
+		}
+	}
+	// Retire aggregators the policy no longer wants.
+	for id, n := range gm.aggNode {
+		if want[id] {
+			continue
+		}
+		// Task arc records pointing at this aggregator die with it.
+		for _, arcs := range gm.taskArcs {
+			for target := range arcs {
+				if target.Machine == cluster.InvalidMachine && target.Agg == id {
+					delete(arcs, target)
+				}
+			}
+		}
+		for _, arcs := range gm.aggAggArcs {
+			delete(arcs, id)
+		}
+		gm.g.RemoveNode(n)
+		delete(gm.aggNode, id)
+		delete(gm.aggMachineArcs, id)
+		delete(gm.aggAggArcs, id)
+		gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveNode, Node: n})
+	}
+	// Diff each aggregator's machine arcs.
+	for _, id := range desired {
+		node := gm.aggNode[id]
+		arcs := gm.aggMachineArcs[id]
+		wantArcs := gm.model.AggArcs(id, now)
+		seen := make(map[machineArcKey]bool, len(wantArcs))
+		for _, ma := range wantArcs {
+			mn, ok := gm.machineNode[ma.Machine]
+			if !ok {
+				continue // machine gone
+			}
+			k := machineArcKey{ma.Machine, ma.Key}
+			seen[k] = true
+			if a, ok := arcs[k]; ok {
+				gm.setArc(a, ma.Cost, ma.Capacity)
+			} else {
+				a := gm.g.AddArc(node, mn, ma.Capacity, ma.Cost)
+				arcs[k] = a
+				gm.changes.Record(flow.Change{Kind: flow.ChangeAddArc, Arc: a})
+			}
+		}
+		for k, a := range arcs {
+			if !seen[k] {
+				gm.g.RemoveArc(a)
+				delete(arcs, k)
+				gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+			}
+		}
+		// Aggregator-to-aggregator arcs (e.g. Quincy's X → racks).
+		if gm.hier != nil {
+			aarcs := gm.aggAggArcs[id]
+			wantAgg := gm.hier.AggToAggArcs(id, now)
+			seenAgg := make(map[policy.AggID]bool, len(wantAgg))
+			for _, aa := range wantAgg {
+				dst, ok := gm.aggNode[aa.To]
+				if !ok {
+					continue
+				}
+				seenAgg[aa.To] = true
+				if a, ok := aarcs[aa.To]; ok {
+					gm.setArc(a, aa.Cost, aa.Capacity)
+				} else {
+					a := gm.g.AddArc(node, dst, aa.Capacity, aa.Cost)
+					aarcs[aa.To] = a
+					gm.changes.Record(flow.Change{Kind: flow.ChangeAddArc, Arc: a})
+				}
+			}
+			for to, a := range aarcs {
+				if !seenAgg[to] {
+					gm.g.RemoveArc(a)
+					delete(aarcs, to)
+					gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+				}
+			}
+		}
+	}
+}
+
+func (gm *GraphManager) updateTasks(now time.Duration) {
+	ids := make([]cluster.TaskID, 0, len(gm.taskNode))
+	for id := range gm.taskNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := gm.cl.Task(id)
+		node := gm.taskNode[id]
+		// Unscheduled (or preemption) cost.
+		gm.setArc(gm.taskUnschedArc[id], gm.model.UnscheduledCost(t, now), 1)
+		// Policy arcs.
+		arcs := gm.taskArcs[id]
+		want := gm.model.TaskArcs(t, now)
+		seen := make(map[policy.ArcTarget]bool, len(want))
+		for _, ta := range want {
+			var dst flow.NodeID
+			var ok bool
+			if ta.Target.Machine != cluster.InvalidMachine && ta.Target.Machine >= 0 {
+				dst, ok = gm.machineNode[ta.Target.Machine]
+			} else {
+				dst, ok = gm.aggNode[ta.Target.Agg]
+			}
+			if !ok {
+				continue
+			}
+			cap := ta.Capacity
+			if cap == 0 {
+				cap = 1
+			}
+			seen[ta.Target] = true
+			if a, exists := arcs[ta.Target]; exists {
+				gm.setArc(a, ta.Cost, cap)
+			} else {
+				a := gm.g.AddArc(node, dst, cap, ta.Cost)
+				arcs[ta.Target] = a
+				gm.changes.Record(flow.Change{Kind: flow.ChangeAddArc, Arc: a})
+			}
+		}
+		for target, a := range arcs {
+			if !seen[target] {
+				gm.g.RemoveArc(a)
+				delete(arcs, target)
+				gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+			}
+		}
+	}
+}
+
+func (gm *GraphManager) updateMachineCapacities() {
+	for id, a := range gm.machineSink {
+		want := int64(gm.cl.Machine(id).Slots)
+		if got := gm.g.Capacity(a); got != want {
+			gm.g.SetArcCapacity(a, want)
+			gm.changes.Record(flow.Change{Kind: flow.ChangeArcCapacity, Arc: a, Old: got, New: want})
+		}
+	}
+}
+
+// setArc updates an arc's cost and capacity if they differ, recording
+// changes.
+func (gm *GraphManager) setArc(a flow.ArcID, cost policy.Cost, capacity int64) {
+	if old := gm.g.Cost(a); old != cost {
+		gm.g.SetArcCost(a, cost)
+		gm.changes.Record(flow.Change{Kind: flow.ChangeArcCost, Arc: a, Old: old, New: cost})
+	}
+	if old := gm.g.Capacity(a); old != capacity {
+		gm.g.SetArcCapacity(a, capacity)
+		gm.changes.Record(flow.Change{Kind: flow.ChangeArcCapacity, Arc: a, Old: old, New: capacity})
+	}
+}
+
+// SwapGraphForExperiment temporarily replaces the managed graph with g,
+// which must be a clone of it (identical node and arc IDs), and returns
+// the previous graph. The early-termination experiment (paper Figure 10)
+// uses this to extract intermediate placements from a solver snapshot with
+// the manager's node mappings.
+func (gm *GraphManager) SwapGraphForExperiment(g *flow.Graph) *flow.Graph {
+	old := gm.g
+	gm.g = g
+	return old
+}
+
+// TaskOfNode resolves a task node back to its task ID.
+func (gm *GraphManager) TaskOfNode(n flow.NodeID) (cluster.TaskID, bool) {
+	id, ok := gm.nodeTask[n]
+	return id, ok
+}
+
+// sanityCheck verifies internal map consistency (used by tests).
+func (gm *GraphManager) sanityCheck() error {
+	if int64(len(gm.taskNode)) != gm.numTasks {
+		return fmt.Errorf("core: task count mismatch: %d nodes vs %d counted", len(gm.taskNode), gm.numTasks)
+	}
+	for id, n := range gm.taskNode {
+		if !gm.g.NodeInUse(n) {
+			return fmt.Errorf("core: task %d maps to dead node %d", id, n)
+		}
+	}
+	for id, n := range gm.machineNode {
+		if !gm.g.NodeInUse(n) {
+			return fmt.Errorf("core: machine %d maps to dead node %d", id, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"firmament/internal/flow"
+	"firmament/internal/mcmf"
+)
+
+// SolverMode selects which MCMF algorithms the pool runs.
+type SolverMode uint8
+
+// Solver modes.
+const (
+	// ModeFirmament speculatively executes from-scratch relaxation and
+	// incremental cost scaling concurrently and takes whichever finishes
+	// first (paper §6.1). This is Firmament's production configuration.
+	ModeFirmament SolverMode = iota
+	// ModeRelaxationOnly runs only from-scratch relaxation (the
+	// "Relaxation only" line of Figures 16 and 18).
+	ModeRelaxationOnly
+	// ModeIncrementalCostScaling runs only incremental cost scaling.
+	ModeIncrementalCostScaling
+	// ModeQuincy runs only from-scratch cost scaling — the configuration
+	// of Quincy's cs2 solver, used for all head-to-head Quincy
+	// comparisons (paper §7.1).
+	ModeQuincy
+)
+
+// String names the mode.
+func (m SolverMode) String() string {
+	switch m {
+	case ModeFirmament:
+		return "firmament"
+	case ModeRelaxationOnly:
+		return "relaxation-only"
+	case ModeIncrementalCostScaling:
+		return "incremental-cost-scaling"
+	case ModeQuincy:
+		return "quincy"
+	default:
+		return "unknown"
+	}
+}
+
+// PoolResult reports a solver pool run.
+type PoolResult struct {
+	Winner          string        // algorithm whose solution was used
+	Cost            int64         // total cost of the winning flow
+	AlgorithmTime   time.Duration // runtime of the winning algorithm
+	RelaxationTime  time.Duration // runtime of relaxation (0 if not run/won race late)
+	CostScalingTime time.Duration
+	PriceRefineTime time.Duration
+}
+
+// SolverPool orchestrates the speculative dual-algorithm execution of paper
+// §6.1: relaxation usually wins, but incremental cost scaling bounds the
+// placement latency in relaxation's edge cases (oversubscription, large
+// arriving jobs). After each round the pool optionally applies price refine
+// to the winning solution so that the next incremental cost scaling run can
+// start from a small epsilon (§6.2, Figure 13).
+type SolverPool struct {
+	Mode SolverMode
+	// PriceRefine enables the §6.2 state-transfer optimization
+	// (default true via NewSolverPool).
+	PriceRefine bool
+	// Options are forwarded to the algorithms (alpha factor, arc
+	// prioritization, snapshot hooks).
+	Options mcmf.Options
+
+	relax   *mcmf.Relaxation
+	cs      *mcmf.CostScaling
+	replica *flow.Graph // reusable clone for the speculative cost scaling run
+}
+
+// NewSolverPool returns a pool in the given mode with price refine enabled.
+func NewSolverPool(mode SolverMode) *SolverPool {
+	return &SolverPool{
+		Mode:        mode,
+		PriceRefine: true,
+		relax:       mcmf.NewRelaxation(),
+		cs:          mcmf.NewCostScaling(),
+	}
+}
+
+// solveOutcome carries one algorithm's result across the race.
+type solveOutcome struct {
+	res mcmf.Result
+	err error
+}
+
+// Solve runs the configured algorithm(s) on g and leaves the winning
+// optimal flow on g. changes describes the graph deltas since the previous
+// call (used by incremental cost scaling to pick its starting epsilon).
+func (p *SolverPool) Solve(g *flow.Graph, changes *flow.ChangeSet) (PoolResult, error) {
+	switch p.Mode {
+	case ModeRelaxationOnly:
+		res, err := p.relax.Solve(g, p.opts(nil))
+		if err != nil {
+			return PoolResult{}, err
+		}
+		return PoolResult{Winner: res.Algorithm, Cost: res.Cost,
+			AlgorithmTime: res.Runtime, RelaxationTime: res.Runtime}, nil
+	case ModeIncrementalCostScaling:
+		res, err := p.cs.SolveIncremental(g, changes, p.opts(nil))
+		if err != nil {
+			return PoolResult{}, err
+		}
+		pr := p.refine(g, nil)
+		return PoolResult{Winner: res.Algorithm, Cost: res.Cost,
+			AlgorithmTime: res.Runtime, CostScalingTime: res.Runtime, PriceRefineTime: pr}, nil
+	case ModeQuincy:
+		res, err := p.cs.Solve(g, p.opts(nil))
+		if err != nil {
+			return PoolResult{}, err
+		}
+		return PoolResult{Winner: "cost-scaling (from scratch)", Cost: res.Cost,
+			AlgorithmTime: res.Runtime, CostScalingTime: res.Runtime}, nil
+	case ModeFirmament:
+		return p.solveSpeculative(g, changes)
+	default:
+		return PoolResult{}, fmt.Errorf("core: unknown solver mode %d", p.Mode)
+	}
+}
+
+// solveSpeculative implements the §6.1 race: incremental cost scaling runs
+// on a private replica (warm-started from the previous round's winning flow
+// and price-refined potentials), relaxation runs from scratch on the main
+// graph, and the first to finish cancels the other.
+func (p *SolverPool) solveSpeculative(g *flow.Graph, changes *flow.ChangeSet) (PoolResult, error) {
+	p.replica = g.CloneInto(p.replica)
+
+	var stopRelax, stopCS atomic.Bool
+	relaxCh := make(chan solveOutcome, 1)
+	csCh := make(chan solveOutcome, 1)
+
+	relaxStart := time.Now()
+	go func() {
+		res, err := p.relax.Solve(g, p.opts(&stopRelax))
+		relaxCh <- solveOutcome{res, err}
+	}()
+	go func() {
+		res, err := p.cs.SolveIncremental(p.replica, changes, p.opts(&stopCS))
+		csCh <- solveOutcome{res, err}
+	}()
+
+	var relaxOut, csOut *solveOutcome
+	var winner *mcmf.Result
+	var fromCS bool
+	for winner == nil && (relaxOut == nil || csOut == nil) {
+		select {
+		case out := <-relaxCh:
+			relaxOut = &out
+			if out.err == nil {
+				winner = &out.res
+				stopCS.Store(true)
+			}
+		case out := <-csCh:
+			csOut = &out
+			if out.err == nil {
+				winner = &out.res
+				fromCS = true
+				stopRelax.Store(true)
+			}
+		}
+	}
+	// Wait for the loser so the graphs are quiescent before we touch them.
+	if relaxOut == nil {
+		out := <-relaxCh
+		relaxOut = &out
+	}
+	if csOut == nil {
+		out := <-csCh
+		csOut = &out
+	}
+	if winner == nil {
+		// Both failed; surface the more interesting error.
+		if relaxOut.err != nil && !errors.Is(relaxOut.err, mcmf.ErrStopped) {
+			return PoolResult{}, relaxOut.err
+		}
+		return PoolResult{}, csOut.err
+	}
+	if fromCS {
+		// Install the replica's solution on the main graph.
+		if err := g.CopyFlowAndPotentialsFrom(p.replica); err != nil {
+			return PoolResult{}, fmt.Errorf("core: transferring cost scaling solution: %w", err)
+		}
+	}
+	pr := p.refine(g, nil)
+	res := PoolResult{
+		Winner:          winner.Algorithm,
+		Cost:            winner.Cost,
+		AlgorithmTime:   winner.Runtime,
+		PriceRefineTime: pr,
+	}
+	if relaxOut.err == nil {
+		res.RelaxationTime = relaxOut.res.Runtime
+	} else if errors.Is(relaxOut.err, mcmf.ErrStopped) {
+		res.RelaxationTime = time.Since(relaxStart)
+	}
+	if csOut.err == nil {
+		res.CostScalingTime = csOut.res.Runtime
+	}
+	return res, nil
+}
+
+// refine applies price refine to the optimal solution on g, finding
+// potentials that satisfy complementary slackness in cost scaling's scaled
+// domain without modifying the flow (paper §6.2: done "before we apply the
+// latest cluster changes", i.e. at the end of the round). Returns the time
+// spent, zero if disabled.
+func (p *SolverPool) refine(g *flow.Graph, stop *atomic.Bool) time.Duration {
+	if !p.PriceRefine {
+		return 0
+	}
+	start := time.Now()
+	opts := p.opts(stop)
+	mcmf.PriceRefine(g, p.cs.ScaleFor(g), 0, opts)
+	return time.Since(start)
+}
+
+func (p *SolverPool) opts(stop *atomic.Bool) *mcmf.Options {
+	o := p.Options
+	o.Stop = stop
+	return &o
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/policy"
+	"firmament/internal/sim"
+	"firmament/internal/storage"
+	"firmament/internal/trace"
+)
+
+// simParams configures one trace-driven simulation run.
+type simParams struct {
+	topo       cluster.Topology
+	mode       core.SolverMode
+	seed       int64
+	policyKind string  // "quincy", "loadspread" or "netaware"
+	threshold  float64 // Quincy preference threshold (0: default 0.14)
+	workload   *trace.Workload
+	maxVirtual time.Duration
+	warmupCut  time.Duration
+	useFabric  bool
+	background []sim.BackgroundFlow
+}
+
+// runSim executes one flow-scheduler simulation.
+func runSim(p simParams) (*sim.Results, error) {
+	return sim.Run(sim.Config{
+		Topology:      p.topo,
+		Workload:      p.workload,
+		Seed:          p.seed,
+		UseStorage:    true,
+		StorageConfig: storage.Config{Seed: p.seed, BlockSize: expBlockSize},
+		UseFabric:     p.useFabric,
+		Background:    p.background,
+		MaxVirtual:    p.maxVirtual,
+		WarmupCut:     p.warmupCut,
+		NewFlowScheduler: func(env *sim.Env) *core.Scheduler {
+			cfg := core.DefaultConfig()
+			cfg.Mode = p.mode
+			var model policy.CostModel
+			switch p.policyKind {
+			case "loadspread":
+				model = policy.NewLoadSpread(env.Cluster)
+			case "netaware":
+				model = policy.NewNetworkAware(env.Cluster, env.Fabric)
+			default:
+				q := policy.NewQuincy(env.Cluster, env.Store)
+				if p.threshold > 0 {
+					q.PreferenceThreshold = p.threshold
+				}
+				model = q
+			}
+			return core.NewScheduler(env.Cluster, model, cfg)
+		},
+	})
+}
+
+// googleWorkload builds the Google-shape trace used by the simulation
+// experiments.
+func googleWorkload(machines int, util float64, horizon time.Duration, speedup float64, seed int64) *trace.Workload {
+	topo := clusterTopo(machines)
+	return trace.Generate(trace.Config{
+		Machines:        machines,
+		SlotsPerMachine: topo.SlotsPerMachine,
+		Utilization:     util,
+		Horizon:         horizon,
+		Speedup:         speedup,
+		Seed:            seed,
+		Prefill:         true,
+		// Keep single jobs below ~10%% of the subsampled cluster so the
+		// experiments measure scheduler latency, not capacity queueing
+		// behind jobs that would be 1%% of the paper's full-size cluster.
+		MaxJobSize: machines * topo.SlotsPerMachine / 10,
+	})
+}
+
+// Fig14 reproduces Figure 14: the CDF of task placement latency for
+// Firmament vs Quincy (from-scratch cost scaling) replaying the
+// Google-shape workload at 90% slot utilization. The paper reports a 20×
+// improvement with identical placement quality.
+func Fig14(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	header(w, "Figure 14: task placement latency CDF, Firmament vs Quincy (90% utilization)")
+	n := o.scaled(250)
+	horizon := 20 * time.Second
+	speedup := 50.0 // accelerate so placements churn within the horizon
+	fmt.Fprintf(w, "%-28s %10s %10s %10s %10s %10s\n",
+		"scheduler", "p25", "p50", "p75", "p90", "p99")
+	var med [2]float64
+	for i, mode := range []core.SolverMode{core.ModeFirmament, core.ModeQuincy} {
+		res, err := runSim(simParams{
+			topo: clusterTopo(n), mode: mode, seed: o.Seed,
+			workload:   googleWorkload(n, 0.9, horizon, speedup, o.Seed),
+			maxVirtual: 4 * horizon,
+			warmupCut:  2 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs\n",
+			res.SchedulerName,
+			res.PlacementLatency.Percentile(25), res.PlacementLatency.Percentile(50),
+			res.PlacementLatency.Percentile(75), res.PlacementLatency.Percentile(90),
+			res.PlacementLatency.Percentile(99))
+		med[i] = res.PlacementLatency.Percentile(50)
+	}
+	if med[0] > 0 {
+		fmt.Fprintf(w, "median speedup Firmament over Quincy: %.1fx (paper: >20x)\n", med[1]/med[0])
+	}
+	return nil
+}
+
+// Fig15 reproduces Figure 15 and Table 15b: lowering the Quincy locality
+// preference threshold from 14% to 2% adds arcs; Firmament stays fast
+// while cost scaling slows further, and data locality improves.
+func Fig15(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	header(w, "Figure 15a: algorithm runtime vs preference threshold / Table 15b: data locality")
+	n := o.scaled(250)
+	horizon := 20 * time.Second
+	fmt.Fprintf(w, "%-12s %-22s %12s %12s %12s %10s %10s\n",
+		"threshold", "solver", "runtime p50", "runtime p90", "runtime p99", "locality", "rack-loc")
+	for _, th := range []float64{0.14, 0.02} {
+		for _, mode := range []core.SolverMode{core.ModeFirmament, core.ModeQuincy} {
+			res, err := runSim(simParams{
+				topo: clusterTopo(n), mode: mode, seed: o.Seed, threshold: th,
+				workload:   googleWorkload(n, 0.8, horizon, 20, o.Seed),
+				maxVirtual: 4 * horizon,
+				warmupCut:  2 * time.Second,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12.0f%% %-21s %12s %12s %12s %9.0f%% %9.0f%%\n",
+				th*100, res.SchedulerName,
+				fmtDur(time.Duration(res.AlgorithmRuntime.Percentile(50)*float64(time.Second))),
+				fmtDur(time.Duration(res.AlgorithmRuntime.Percentile(90)*float64(time.Second))),
+				fmtDur(time.Duration(res.AlgorithmRuntime.Percentile(99)*float64(time.Second))),
+				res.Locality()*100, res.RackLocality()*100)
+		}
+	}
+	return nil
+}
+
+// Fig16 reproduces Figure 16: at ~97% utilization (transient
+// oversubscription), Firmament's speculative pool beats both
+// relaxation-only (which explodes and recovers late) and cost-scaling-only.
+func Fig16(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	header(w, "Figure 16: solver runtime under transient oversubscription (97% utilization)")
+	n := o.scaled(250)
+	horizon := 30 * time.Second
+	fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n", "configuration", "p50", "p90", "p99", "max")
+	for _, mode := range []core.SolverMode{
+		core.ModeFirmament, core.ModeRelaxationOnly, core.ModeQuincy,
+	} {
+		res, err := runSim(simParams{
+			topo: clusterTopo(n), mode: mode, seed: o.Seed,
+			workload:   googleWorkload(n, 0.97, horizon, 25, o.Seed),
+			maxVirtual: 4 * horizon,
+			warmupCut:  2 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n",
+			res.SchedulerName,
+			fmtDur(time.Duration(res.AlgorithmRuntime.Percentile(50)*float64(time.Second))),
+			fmtDur(time.Duration(res.AlgorithmRuntime.Percentile(90)*float64(time.Second))),
+			fmtDur(time.Duration(res.AlgorithmRuntime.Percentile(99)*float64(time.Second))),
+			fmtDur(time.Duration(res.AlgorithmRuntime.Max()*float64(time.Second))))
+	}
+	return nil
+}
+
+// Fig18 reproduces Figure 18: placement latency percentiles as the
+// Google-shape trace is accelerated 50×…300×. Firmament keeps up; a single
+// algorithm does not.
+func Fig18(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	header(w, "Figure 18: placement latency vs trace speedup (Firmament vs relaxation only)")
+	n := o.scaled(250)
+	horizon := 20 * time.Second
+	fmt.Fprintf(w, "%9s %-24s %10s %10s %10s %10s\n",
+		"speedup", "configuration", "p25", "p50", "p75", "p99")
+	for _, speedup := range []float64{50, 150, 300} {
+		for _, mode := range []core.SolverMode{core.ModeFirmament, core.ModeRelaxationOnly} {
+			res, err := runSim(simParams{
+				topo: clusterTopo(n), mode: mode, seed: o.Seed,
+				workload:   googleWorkload(n, 0.85, horizon, speedup, o.Seed),
+				maxVirtual: 4 * horizon,
+				warmupCut:  2 * time.Second,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%8.0fx %-24s %9.3fs %9.3fs %9.3fs %9.3fs  n=%d preempt=%d rounds=%d\n",
+				speedup, res.SchedulerName,
+				res.PlacementLatency.Percentile(25), res.PlacementLatency.Percentile(50),
+				res.PlacementLatency.Percentile(75), res.PlacementLatency.Percentile(99),
+				res.PlacementLatency.N(), res.Preempted, res.Rounds)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"firmament/internal/baselines"
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/netsim"
+	"firmament/internal/policy"
+	"firmament/internal/sim"
+	"firmament/internal/storage"
+	"firmament/internal/trace"
+)
+
+const gbps = 1000 * 1000 * 1000 / 8 // 1 Gb/s in bytes/sec
+
+// testbedTopo models the paper's local cluster: 40 machines, 10 Gbps
+// full-bisection Ethernet, a handful of task slots each (§7.1).
+func testbedTopo() cluster.Topology {
+	return cluster.Topology{
+		Racks: 4, MachinesPerRack: 10, SlotsPerMachine: 4,
+		NICBps: 10 * gbps,
+	}
+}
+
+// testbedWorkload builds the short batch analytics tasks of §7.5:
+// 3.5–5s compute, 4–8 GB inputs, arriving steadily.
+func testbedWorkload(jobs int, interarrival time.Duration, seed int64) *trace.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &trace.Workload{Horizon: time.Duration(jobs) * interarrival}
+	for i := 0; i < jobs; i++ {
+		input := int64(4+rng.Intn(5)) << 30
+		dur := 3500*time.Millisecond + time.Duration(rng.Intn(1500))*time.Millisecond
+		w.Jobs = append(w.Jobs, trace.JobTrace{
+			Submit: time.Duration(i) * interarrival,
+			Class:  cluster.Batch,
+			Tasks: []trace.TaskTrace{{
+				Duration:  dur,
+				InputSize: input,
+				NetDemand: input / int64(dur.Seconds()+1),
+			}},
+		})
+	}
+	return w
+}
+
+// backgroundTraffic reproduces §7.5's mixed long-running load: fourteen
+// iperf clients pushing 4 Gb/s UDP at seven servers in a higher-priority
+// service class, plus three nginx web servers serving seven HTTP clients.
+func backgroundTraffic() []sim.BackgroundFlow {
+	var bg []sim.BackgroundFlow
+	for i := 0; i < 14; i++ {
+		bg = append(bg, sim.BackgroundFlow{
+			Src:       cluster.MachineID(i % 20),
+			Dst:       cluster.MachineID(20 + i%7),
+			Class:     netsim.ClassHigh,
+			RateLimit: 4 * gbps,
+		})
+	}
+	for i := 0; i < 7; i++ {
+		bg = append(bg, sim.BackgroundFlow{
+			Src:       cluster.MachineID(27 + i%3), // nginx servers
+			Dst:       cluster.MachineID(30 + i),   // HTTP clients
+			Class:     netsim.ClassHigh,
+			RateLimit: gbps / 2,
+		})
+	}
+	return bg
+}
+
+// Fig19 reproduces Figure 19: short batch task response times on the
+// 40-machine testbed model under five schedulers, (a) with an otherwise
+// idle network and (b) with the background batch/service traffic. An
+// "idle (isolation)" baseline runs each task with the cluster to itself.
+func Fig19(w io.Writer, o Options, loaded bool) error {
+	o = o.withDefaults()
+	if loaded {
+		header(w, "Figure 19b: task response time with background batch/service traffic")
+	} else {
+		header(w, "Figure 19a: task response time on an idle network")
+	}
+	jobs := 15 * o.Rounds
+	interarrival := 400 * time.Millisecond
+	var bg []sim.BackgroundFlow
+	if loaded {
+		bg = backgroundTraffic()
+	}
+
+	type entry struct {
+		name string
+		cfg  sim.Config
+	}
+	base := func() sim.Config {
+		return sim.Config{
+			Topology:      testbedTopo(),
+			Workload:      testbedWorkload(jobs, interarrival, o.Seed),
+			Seed:          o.Seed,
+			UseStorage:    true,
+			StorageConfig: storage.Config{Seed: o.Seed, BlockSize: expBlockSize},
+			UseFabric:     true,
+			Background:    bg,
+		}
+	}
+	entries := []entry{
+		{"idle (isolation)", func() sim.Config {
+			c := base()
+			// Serialize the jobs so each runs on an otherwise idle
+			// cluster and network (no background flows either).
+			c.Workload = testbedWorkload(jobs/5, 30*time.Second, o.Seed)
+			c.Background = nil
+			c.NewQueueScheduler = func(env *sim.Env) baselines.QueueScheduler {
+				return baselines.NewSwarmKit(env.Cluster)
+			}
+			return c
+		}()},
+		{"firmament (net-aware)", func() sim.Config {
+			c := base()
+			c.NewFlowScheduler = func(env *sim.Env) *core.Scheduler {
+				cfg := core.DefaultConfig()
+				return core.NewScheduler(env.Cluster,
+					policy.NewNetworkAware(env.Cluster, env.Fabric), cfg)
+			}
+			return c
+		}()},
+		{"swarmkit", func() sim.Config {
+			c := base()
+			c.NewQueueScheduler = func(env *sim.Env) baselines.QueueScheduler {
+				return baselines.NewSwarmKit(env.Cluster)
+			}
+			return c
+		}()},
+		{"kubernetes", func() sim.Config {
+			c := base()
+			c.NewQueueScheduler = func(env *sim.Env) baselines.QueueScheduler {
+				return baselines.NewKubernetes(env.Cluster)
+			}
+			return c
+		}()},
+		{"mesos", func() sim.Config {
+			c := base()
+			c.NewQueueScheduler = func(env *sim.Env) baselines.QueueScheduler {
+				return baselines.NewMesos(env.Cluster, o.Seed)
+			}
+			return c
+		}()},
+		{"sparrow", func() sim.Config {
+			c := base()
+			c.NewQueueScheduler = func(env *sim.Env) baselines.QueueScheduler {
+				return baselines.NewSparrow(env.Cluster, o.Seed)
+			}
+			return c
+		}()},
+	}
+
+	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %9s\n", "scheduler", "p50", "p80", "p90", "p99", "max")
+	var p99s = map[string]float64{}
+	for _, e := range entries {
+		res, err := sim.Run(e.cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(w, "%-24s %8.2fs %8.2fs %8.2fs %8.2fs %8.2fs\n",
+			e.name,
+			res.ResponseTime.Percentile(50), res.ResponseTime.Percentile(80),
+			res.ResponseTime.Percentile(90), res.ResponseTime.Percentile(99),
+			res.ResponseTime.Max())
+		p99s[e.name] = res.ResponseTime.Percentile(99)
+	}
+	if loaded {
+		if f := p99s["firmament (net-aware)"]; f > 0 {
+			fmt.Fprintf(w, "\np99 improvement over swarmkit: %.1fx (paper: 3.4x)\n", p99s["swarmkit"]/f)
+			fmt.Fprintf(w, "p99 improvement over kubernetes: %.1fx (paper: 3.4x)\n", p99s["kubernetes"]/f)
+			fmt.Fprintf(w, "p99 improvement over sparrow: %.1fx (paper: 6.2x)\n", p99s["sparrow"]/f)
+		}
+	}
+	return nil
+}

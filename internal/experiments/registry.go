@@ -1,0 +1,45 @@
+package experiments
+
+import "io"
+
+// Experiment is one reproducible table or figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Options) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "Quincy algorithm runtime vs cluster size", Fig3},
+		{"fig7", "from-scratch MCMF algorithm comparison", Fig7},
+		{"fig8", "relaxation under oversubscription", Fig8},
+		{"fig9", "relaxation vs large arriving jobs", Fig9},
+		{"fig10", "approximate MCMF misplacements", Fig10},
+		{"fig11", "incremental vs from-scratch cost scaling", Fig11},
+		{"fig12", "arc prioritization & task removal heuristics", Fig12},
+		{"fig13", "price refine on algorithm switch", Fig13},
+		{"fig14", "placement latency: Firmament vs Quincy", Fig14},
+		{"fig15", "preference threshold & data locality", Fig15},
+		{"fig16", "oversubscription: dual algorithms win", Fig16},
+		{"fig17", "breaking point with sub-second tasks", Fig17},
+		{"fig18", "accelerated trace speedups", Fig18},
+		{"fig19a", "testbed response times, idle network", func(w io.Writer, o Options) error { return Fig19(w, o, false) }},
+		{"fig19b", "testbed response times, loaded network", func(w io.Writer, o Options) error { return Fig19(w, o, true) }},
+		{"abl-increlax", "ablation: incremental relaxation (§5.2)", AblationIncrementalRelaxation},
+		{"tab1", "worst-case complexities", Tab1},
+		{"tab2", "per-iteration invariants", Tab2},
+		{"tab3", "arc change classification", Tab3},
+	}
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,372 @@
+// Package flow implements the directed flow network over which Firmament's
+// min-cost max-flow (MCMF) solvers operate (paper §3.2, §4).
+//
+// The representation is the classic paired-arc residual network: every call
+// to AddArc creates a forward arc at an even index a and its residual
+// reverse arc at a^1, with negated cost and zero initial residual capacity.
+// Flow on a forward arc is therefore the residual capacity of its partner,
+// and solvers manipulate flow purely by moving residual capacity between the
+// two partners. Node potentials (the dual variables pi of paper Eq. 4) are
+// stored on the nodes so that incremental solvers can warm-start from the
+// previous run's state (paper §5.2).
+//
+// Nodes and arcs are recycled through free lists: cluster schedulers remove
+// task nodes at completion and machine nodes at failure thousands of times
+// per minute, and the graph must not grow without bound.
+package flow
+
+import "fmt"
+
+// NodeID identifies a node in a Graph. IDs are dense small integers so that
+// solvers can use them to index scratch arrays directly.
+type NodeID int32
+
+// ArcID identifies a directed arc. Forward arcs have even IDs; the reverse
+// residual partner of arc a is always a^1.
+type ArcID int32
+
+// InvalidNode and InvalidArc are the sentinel "no such" values.
+const (
+	InvalidNode NodeID = -1
+	InvalidArc  ArcID  = -1
+)
+
+// NodeKind labels the scheduling role of a node. The flow package does not
+// interpret kinds; they exist so that the scheduler core and debugging output
+// can identify nodes without a side table, and so that placement extraction
+// (paper Listing 1) can stop at task nodes.
+type NodeKind uint8
+
+// Node kinds used by the Firmament scheduling graphs (paper Fig. 5, Fig. 6).
+const (
+	KindOther NodeKind = iota
+	KindTask
+	KindMachine
+	KindAggregator
+	KindUnsched
+	KindSink
+)
+
+// String returns a short human-readable name for the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindTask:
+		return "task"
+	case KindMachine:
+		return "machine"
+	case KindAggregator:
+		return "aggregator"
+	case KindUnsched:
+		return "unsched"
+	case KindSink:
+		return "sink"
+	default:
+		return "other"
+	}
+}
+
+// node is the internal node record. Adjacency is a doubly-linked list of
+// outgoing arcs (which includes reverse residual arcs, as solvers need to
+// traverse the full residual network from a node).
+type node struct {
+	firstOut  ArcID
+	supply    int64
+	potential int64
+	kind      NodeKind
+	inUse     bool
+}
+
+// arc is the internal arc record. For a forward arc, resid+partner.resid is
+// the arc's capacity and partner.resid is its flow. Reverse arcs carry the
+// negated cost.
+type arc struct {
+	head  NodeID
+	next  ArcID // next outgoing arc of the same tail
+	prev  ArcID // previous outgoing arc of the same tail
+	resid int64
+	cost  int64
+	alive bool
+}
+
+// Graph is a directed flow network with supplies, capacities and costs. The
+// zero value is not usable; call NewGraph.
+//
+// Graph is not safe for concurrent mutation. The speculative solver pool
+// clones the graph so each algorithm owns a private replica (paper §6.1 runs
+// the two algorithms in separate address spaces).
+type Graph struct {
+	nodes     []node
+	arcs      []arc
+	freeNodes []NodeID
+	freeArcs  []ArcID // forward (even) IDs of freed pairs
+	numNodes  int
+	numArcs   int // number of live forward arcs
+}
+
+// NewGraph returns an empty graph. The hint sizes pre-allocate internal
+// storage; pass zeros if unknown.
+func NewGraph(nodeHint, arcHint int) *Graph {
+	return &Graph{
+		nodes: make([]node, 0, nodeHint),
+		arcs:  make([]arc, 0, 2*arcHint),
+	}
+}
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumArcs returns the number of live forward arcs.
+func (g *Graph) NumArcs() int { return g.numArcs }
+
+// NodeIDBound returns an exclusive upper bound on live node IDs, suitable
+// for sizing solver scratch arrays indexed by NodeID.
+func (g *Graph) NodeIDBound() int { return len(g.nodes) }
+
+// ArcIDBound returns an exclusive upper bound on live arc IDs (forward and
+// reverse), suitable for sizing solver scratch arrays indexed by ArcID.
+func (g *Graph) ArcIDBound() int { return len(g.arcs) }
+
+// AddNode creates a node with the given supply (positive for sources,
+// negative for sinks) and kind, and returns its ID.
+func (g *Graph) AddNode(supply int64, kind NodeKind) NodeID {
+	var id NodeID
+	if n := len(g.freeNodes); n > 0 {
+		id = g.freeNodes[n-1]
+		g.freeNodes = g.freeNodes[:n-1]
+	} else {
+		g.nodes = append(g.nodes, node{})
+		id = NodeID(len(g.nodes) - 1)
+	}
+	g.nodes[id] = node{firstOut: InvalidArc, supply: supply, kind: kind, inUse: true}
+	g.numNodes++
+	return id
+}
+
+// RemoveNode deletes a node and every arc incident to it. Any flow carried
+// by those arcs vanishes with them; callers that need to preserve
+// feasibility must drain the node's flow first (see the efficient task
+// removal heuristic, paper §5.3.2, implemented in the scheduler core).
+func (g *Graph) RemoveNode(id NodeID) {
+	g.mustLiveNode(id, "RemoveNode")
+	// Removing arcs mutates the adjacency list we are iterating, so collect
+	// first. Every incident arc (in or out) appears in this node's out list:
+	// out-arcs directly, in-arcs via their reverse partner.
+	var pairs []ArcID
+	for a := g.nodes[id].firstOut; a != InvalidArc; a = g.arcs[a].next {
+		pairs = append(pairs, a&^1)
+	}
+	for _, a := range pairs {
+		g.RemoveArc(a)
+	}
+	g.nodes[id].inUse = false
+	g.freeNodes = append(g.freeNodes, id)
+	g.numNodes--
+}
+
+// NodeInUse reports whether id refers to a live node.
+func (g *Graph) NodeInUse(id NodeID) bool {
+	return id >= 0 && int(id) < len(g.nodes) && g.nodes[id].inUse
+}
+
+// AddArc creates a forward arc tail->head with the given capacity and cost,
+// plus its reverse residual partner, and returns the forward arc's ID.
+func (g *Graph) AddArc(tail, head NodeID, capacity, cost int64) ArcID {
+	g.mustLiveNode(tail, "AddArc tail")
+	g.mustLiveNode(head, "AddArc head")
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: AddArc capacity %d < 0", capacity))
+	}
+	var fwd ArcID
+	if n := len(g.freeArcs); n > 0 {
+		fwd = g.freeArcs[n-1]
+		g.freeArcs = g.freeArcs[:n-1]
+	} else {
+		g.arcs = append(g.arcs, arc{}, arc{})
+		fwd = ArcID(len(g.arcs) - 2)
+	}
+	rev := fwd ^ 1
+	g.arcs[fwd] = arc{head: head, resid: capacity, cost: cost, alive: true}
+	g.arcs[rev] = arc{head: tail, resid: 0, cost: -cost, alive: true}
+	g.linkOut(tail, fwd)
+	g.linkOut(head, rev)
+	g.numArcs++
+	return fwd
+}
+
+// RemoveArc deletes a forward arc and its reverse partner. Flow on the arc
+// vanishes; as with RemoveNode, preserving feasibility is the caller's job.
+// Accepts either the forward or the reverse ID.
+func (g *Graph) RemoveArc(a ArcID) {
+	fwd := a &^ 1
+	g.mustLiveArc(fwd, "RemoveArc")
+	rev := fwd ^ 1
+	g.unlinkOut(g.arcs[rev].head, fwd) // tail of fwd
+	g.unlinkOut(g.arcs[fwd].head, rev)
+	g.arcs[fwd].alive = false
+	g.arcs[rev].alive = false
+	g.freeArcs = append(g.freeArcs, fwd)
+	g.numArcs--
+}
+
+// ArcInUse reports whether a refers to a live arc (forward or reverse).
+func (g *Graph) ArcInUse(a ArcID) bool {
+	return a >= 0 && int(a) < len(g.arcs) && g.arcs[a].alive
+}
+
+// IsForward reports whether a is a forward (original) arc rather than a
+// residual reverse partner.
+func (g *Graph) IsForward(a ArcID) bool { return a&1 == 0 }
+
+// Reverse returns the residual partner of a.
+func (g *Graph) Reverse(a ArcID) ArcID { return a ^ 1 }
+
+// linkOut pushes arc a onto the front of n's outgoing adjacency list.
+func (g *Graph) linkOut(n NodeID, a ArcID) {
+	first := g.nodes[n].firstOut
+	g.arcs[a].next = first
+	g.arcs[a].prev = InvalidArc
+	if first != InvalidArc {
+		g.arcs[first].prev = a
+	}
+	g.nodes[n].firstOut = a
+}
+
+// unlinkOut removes arc a from n's outgoing adjacency list.
+func (g *Graph) unlinkOut(n NodeID, a ArcID) {
+	prev, next := g.arcs[a].prev, g.arcs[a].next
+	if prev != InvalidArc {
+		g.arcs[prev].next = next
+	} else {
+		g.nodes[n].firstOut = next
+	}
+	if next != InvalidArc {
+		g.arcs[next].prev = prev
+	}
+}
+
+// FirstOut returns the first arc (forward or residual) leaving n, or
+// InvalidArc. Together with NextOut it iterates n's residual adjacency.
+func (g *Graph) FirstOut(n NodeID) ArcID { return g.nodes[n].firstOut }
+
+// NextOut returns the arc after a in the tail's adjacency list.
+func (g *Graph) NextOut(a ArcID) ArcID { return g.arcs[a].next }
+
+// Head returns the destination of arc a.
+func (g *Graph) Head(a ArcID) NodeID { return g.arcs[a].head }
+
+// Tail returns the origin of arc a.
+func (g *Graph) Tail(a ArcID) NodeID { return g.arcs[a^1].head }
+
+// Cost returns the cost of arc a (negated on reverse arcs).
+func (g *Graph) Cost(a ArcID) int64 { return g.arcs[a].cost }
+
+// Resid returns the residual capacity of arc a.
+func (g *Graph) Resid(a ArcID) int64 { return g.arcs[a].resid }
+
+// Capacity returns the total capacity of the forward arc of a's pair.
+func (g *Graph) Capacity(a ArcID) int64 {
+	fwd := a &^ 1
+	return g.arcs[fwd].resid + g.arcs[fwd^1].resid
+}
+
+// Flow returns the flow on the forward arc of a's pair.
+func (g *Graph) Flow(a ArcID) int64 { return g.arcs[(a&^1)^1].resid }
+
+// Push moves amt units of flow along arc a (forward or residual). It panics
+// if amt exceeds the residual capacity.
+func (g *Graph) Push(a ArcID, amt int64) {
+	if amt < 0 || amt > g.arcs[a].resid {
+		panic(fmt.Sprintf("flow: Push %d on arc %d with residual %d", amt, a, g.arcs[a].resid))
+	}
+	g.arcs[a].resid -= amt
+	g.arcs[a^1].resid += amt
+}
+
+// ReducedCost returns cost(a) - pi(tail) + pi(head), the reduced cost of
+// paper Eq. 4.
+func (g *Graph) ReducedCost(a ArcID) int64 {
+	return g.arcs[a].cost - g.nodes[g.arcs[a^1].head].potential + g.nodes[g.arcs[a].head].potential
+}
+
+// Supply returns node n's supply b(n).
+func (g *Graph) Supply(n NodeID) int64 { return g.nodes[n].supply }
+
+// SetSupply replaces node n's supply.
+func (g *Graph) SetSupply(n NodeID, s int64) {
+	g.mustLiveNode(n, "SetSupply")
+	g.nodes[n].supply = s
+}
+
+// Potential returns node n's dual potential pi(n).
+func (g *Graph) Potential(n NodeID) int64 { return g.nodes[n].potential }
+
+// SetPotential replaces node n's potential.
+func (g *Graph) SetPotential(n NodeID, p int64) { g.nodes[n].potential = p }
+
+// Kind returns node n's scheduling kind label.
+func (g *Graph) Kind(n NodeID) NodeKind { return g.nodes[n].kind }
+
+// SetKind relabels node n.
+func (g *Graph) SetKind(n NodeID, k NodeKind) { g.nodes[n].kind = k }
+
+// SetArcCost changes the cost of the forward arc of a's pair (and its
+// reverse partner's negated copy). Whether this invalidates an existing
+// optimal flow depends on the sign change of the reduced cost (paper
+// Table 3); solvers detect violations by scanning.
+func (g *Graph) SetArcCost(a ArcID, cost int64) {
+	fwd := a &^ 1
+	g.mustLiveArc(fwd, "SetArcCost")
+	g.arcs[fwd].cost = cost
+	g.arcs[fwd^1].cost = -cost
+}
+
+// SetArcCapacity changes the capacity of the forward arc of a's pair. If
+// existing flow exceeds the new capacity the surplus flow is cancelled so
+// that 0 <= flow <= capacity always holds; the resulting mass-balance
+// violation at the endpoints (paper Table 3: decreasing capacity can break
+// feasibility) surfaces through the imbalance scan that incremental solvers
+// perform.
+func (g *Graph) SetArcCapacity(a ArcID, capacity int64) {
+	fwd := a &^ 1
+	g.mustLiveArc(fwd, "SetArcCapacity")
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: SetArcCapacity %d < 0", capacity))
+	}
+	rev := fwd ^ 1
+	flow := g.arcs[rev].resid
+	if flow > capacity {
+		g.arcs[rev].resid = capacity
+		flow = capacity
+	}
+	g.arcs[fwd].resid = capacity - flow
+}
+
+// Nodes calls fn for every live node. Iteration order is unspecified.
+func (g *Graph) Nodes(fn func(NodeID)) {
+	for i := range g.nodes {
+		if g.nodes[i].inUse {
+			fn(NodeID(i))
+		}
+	}
+}
+
+// ForwardArcs calls fn for every live forward arc.
+func (g *Graph) ForwardArcs(fn func(ArcID)) {
+	for i := 0; i < len(g.arcs); i += 2 {
+		if g.arcs[i].alive {
+			fn(ArcID(i))
+		}
+	}
+}
+
+func (g *Graph) mustLiveNode(id NodeID, op string) {
+	if !g.NodeInUse(id) {
+		panic(fmt.Sprintf("flow: %s on dead or invalid node %d", op, id))
+	}
+}
+
+func (g *Graph) mustLiveArc(a ArcID, op string) {
+	if !g.ArcInUse(a) {
+		panic(fmt.Sprintf("flow: %s on dead or invalid arc %d", op, a))
+	}
+}

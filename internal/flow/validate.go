@@ -1,0 +1,197 @@
+package flow
+
+import "fmt"
+
+// Imbalances returns, for every node ID below NodeIDBound, the node's excess
+// e(n) = b(n) - (outflow(n) - inflow(n)).
+//
+// A feasible flow has zero imbalance everywhere (mass balance, paper Eq. 2).
+// Between solver runs the scheduler mutates supplies, arcs and capacities,
+// so imbalances are generally nonzero; incremental solvers call this to
+// locate the surpluses and deficits they must repair (paper §5.2).
+func (g *Graph) Imbalances() []int64 {
+	im := make([]int64, len(g.nodes))
+	for i := range g.nodes {
+		if g.nodes[i].inUse {
+			im[i] = g.nodes[i].supply
+		}
+	}
+	for i := 0; i < len(g.arcs); i += 2 {
+		if !g.arcs[i].alive {
+			continue
+		}
+		f := g.arcs[i^1].resid // flow on forward arc i
+		if f == 0 {
+			continue
+		}
+		tail := g.arcs[i^1].head
+		head := g.arcs[i].head
+		im[tail] -= f
+		im[head] += f
+	}
+	return im
+}
+
+// CheckFeasible verifies mass balance at every node and 0 <= flow <= cap on
+// every arc (paper Eq. 2–3), returning a descriptive error on the first
+// violation.
+func (g *Graph) CheckFeasible() error {
+	for i := 0; i < len(g.arcs); i += 2 {
+		if !g.arcs[i].alive {
+			continue
+		}
+		if g.arcs[i].resid < 0 || g.arcs[i^1].resid < 0 {
+			return fmt.Errorf("flow: arc %d has negative residual (%d fwd, %d rev)",
+				i, g.arcs[i].resid, g.arcs[i^1].resid)
+		}
+	}
+	for n, e := range g.Imbalances() {
+		if e != 0 {
+			return fmt.Errorf("flow: node %d (%s) violates mass balance by %d",
+				n, g.nodes[n].kind, e)
+		}
+	}
+	return nil
+}
+
+// TotalCost returns sum(cost(a) * flow(a)) over forward arcs (paper Eq. 1).
+func (g *Graph) TotalCost() int64 {
+	var total int64
+	for i := 0; i < len(g.arcs); i += 2 {
+		if g.arcs[i].alive {
+			total += g.arcs[i].cost * g.arcs[i^1].resid
+		}
+	}
+	return total
+}
+
+// TotalSupply returns the sum of positive supplies (the amount of flow the
+// network must route for feasibility).
+func (g *Graph) TotalSupply() int64 {
+	var total int64
+	for i := range g.nodes {
+		if g.nodes[i].inUse && g.nodes[i].supply > 0 {
+			total += g.nodes[i].supply
+		}
+	}
+	return total
+}
+
+// CheckOptimal verifies the negative cycle optimality condition (paper §4,
+// condition 1): the residual network must contain no negative-cost directed
+// cycle. It runs a Bellman-Ford pass over all residual arcs; a relaxation
+// still possible after N rounds implies a negative cycle.
+//
+// CheckOptimal assumes the flow is feasible; call CheckFeasible first.
+func (g *Graph) CheckOptimal() error {
+	n := len(g.nodes)
+	dist := make([]int64, n)
+	for round := 0; round < n; round++ {
+		improved := false
+		for a := 0; a < len(g.arcs); a++ {
+			if !g.arcs[a].alive || g.arcs[a].resid <= 0 {
+				continue
+			}
+			tail := g.arcs[a^1].head
+			if !g.nodes[tail].inUse {
+				continue
+			}
+			head := g.arcs[a].head
+			if d := dist[tail] + g.arcs[a].cost; d < dist[head] {
+				dist[head] = d
+				improved = true
+			}
+		}
+		if !improved {
+			return nil
+		}
+	}
+	return fmt.Errorf("flow: residual network contains a negative-cost cycle")
+}
+
+// CheckReducedCostOptimal verifies reduced cost optimality (paper §4,
+// condition 2) against the stored node potentials: no residual arc may have
+// negative reduced cost. eps relaxes the test to epsilon-optimality (paper
+// §4, cost scaling): residual arcs may have reduced cost >= -eps.
+func (g *Graph) CheckReducedCostOptimal(eps int64) error {
+	for a := 0; a < len(g.arcs); a++ {
+		if !g.arcs[a].alive || g.arcs[a].resid <= 0 {
+			continue
+		}
+		if rc := g.ReducedCost(ArcID(a)); rc < -eps {
+			return fmt.Errorf("flow: arc %d has reduced cost %d < -%d with residual capacity", a, rc, eps)
+		}
+	}
+	return nil
+}
+
+// ResetFlow removes all flow from the graph, returning every pair to
+// (resid=capacity, reverse resid=0). Potentials and supplies are preserved.
+func (g *Graph) ResetFlow() {
+	for i := 0; i < len(g.arcs); i += 2 {
+		if !g.arcs[i].alive {
+			continue
+		}
+		g.arcs[i].resid += g.arcs[i^1].resid
+		g.arcs[i^1].resid = 0
+	}
+}
+
+// ResetPotentials zeroes every node potential.
+func (g *Graph) ResetPotentials() {
+	for i := range g.nodes {
+		g.nodes[i].potential = 0
+	}
+}
+
+// Clone returns a deep copy of the graph. Each speculative solver runs on
+// its own clone (paper §6.1).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:     append([]node(nil), g.nodes...),
+		arcs:      append([]arc(nil), g.arcs...),
+		freeNodes: append([]NodeID(nil), g.freeNodes...),
+		freeArcs:  append([]ArcID(nil), g.freeArcs...),
+		numNodes:  g.numNodes,
+		numArcs:   g.numArcs,
+	}
+	return c
+}
+
+// CloneInto deep-copies g into dst (reusing dst's storage where possible)
+// and returns dst; pass nil to allocate. The solver pool re-clones the
+// scheduling graph every round for the speculative cost scaling run, so
+// avoiding reallocation matters at 10,000-machine scale.
+func (g *Graph) CloneInto(dst *Graph) *Graph {
+	if dst == nil {
+		dst = &Graph{}
+	}
+	dst.nodes = append(dst.nodes[:0], g.nodes...)
+	dst.arcs = append(dst.arcs[:0], g.arcs...)
+	dst.freeNodes = append(dst.freeNodes[:0], g.freeNodes...)
+	dst.freeArcs = append(dst.freeArcs[:0], g.freeArcs...)
+	dst.numNodes = g.numNodes
+	dst.numArcs = g.numArcs
+	return dst
+}
+
+// CopyFlowAndPotentialsFrom copies the flow assignment and node potentials
+// from src, which must have identical topology (same node and arc IDs).
+// The solver pool uses this to transfer a winning relaxation solution into
+// the incremental cost scaling replica (paper §6.2).
+func (g *Graph) CopyFlowAndPotentialsFrom(src *Graph) error {
+	if len(g.arcs) != len(src.arcs) || len(g.nodes) != len(src.nodes) {
+		return fmt.Errorf("flow: topology mismatch (%d/%d nodes, %d/%d arcs)",
+			len(g.nodes), len(src.nodes), len(g.arcs), len(src.arcs))
+	}
+	for i := range g.arcs {
+		if g.arcs[i].alive != src.arcs[i].alive || (g.arcs[i].alive && g.arcs[i].head != src.arcs[i].head) {
+			return fmt.Errorf("flow: arc %d differs between graphs", i)
+		}
+		g.arcs[i].resid = src.arcs[i].resid
+	}
+	for i := range g.nodes {
+		g.nodes[i].potential = src.nodes[i].potential
+	}
+	return nil
+}

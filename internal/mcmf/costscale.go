@@ -1,0 +1,392 @@
+package mcmf
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"firmament/internal/flow"
+)
+
+// CostScaling implements the Goldberg–Tarjan cost scaling algorithm
+// (paper §4, [17–19]): push-relabel iterations maintain feasibility and
+// epsilon-optimality (Table 2), with epsilon divided by an alpha factor
+// after every refine until 1/(N+1)-optimality — equivalent to exact
+// optimality — is reached. Worst-case complexity O(N²·M·log(N·C)), Table 1.
+//
+// This is the algorithm behind Quincy's cs2 solver; running Firmament
+// restricted to from-scratch cost scaling reproduces the Quincy baseline
+// (paper §7.1). The incremental mode warm-starts from the previous
+// solution, restarting epsilon at the largest reduced-cost violation that
+// the latest graph changes introduced rather than at the global maximum
+// cost (paper §5.2, §6.2).
+type CostScaling struct {
+	// scale multiplies arc costs internally so that a flow that is
+	// 1-optimal in scaled costs is optimal in original costs. It must be
+	// > N; it persists across incremental runs because stored potentials
+	// are in scaled units.
+	scale int64
+
+	excess   []int64
+	curArc   []flow.ArcID
+	relabels []int32
+	queue    []flow.NodeID
+	inQueue  []bool
+	dist     []int64
+	pq       nodeHeap
+}
+
+// NewCostScaling returns a cost scaling solver.
+func NewCostScaling() *CostScaling { return &CostScaling{} }
+
+// Name implements Solver.
+func (c *CostScaling) Name() string { return "cost-scaling" }
+
+// Scale returns the internal cost multiplier in effect (exported for tests
+// and for PriceRefine callers, which must present potentials in the same
+// scaled domain).
+func (c *CostScaling) Scale() int64 { return c.scale }
+
+// ScaleFor returns the cost multiplier the solver will use for g,
+// establishing it if not yet set. The solver pool price-refines winning
+// solutions in this scaled domain so the next incremental run can start
+// from a small epsilon (paper §6.2).
+func (c *CostScaling) ScaleFor(g *flow.Graph) int64 {
+	c.ensureScale(g, false)
+	return c.scale
+}
+
+// ensureScale (re)establishes the internal cost multiplier. Potentials
+// stored on the graph are in scaled units, so the scale may only change
+// when prior potentials are being discarded.
+func (c *CostScaling) ensureScale(g *flow.Graph, fresh bool) {
+	need := int64(g.NumNodes()) + 1
+	if c.scale >= need && !fresh {
+		return
+	}
+	// Headroom so that modest growth between incremental runs does not
+	// force a rescale.
+	c.scale = 16
+	for c.scale < 2*need {
+		c.scale *= 2
+	}
+}
+
+// Solve implements Solver: a from-scratch run that discards prior flow and
+// potentials.
+func (c *CostScaling) Solve(g *flow.Graph, opts *Options) (Result, error) {
+	start := time.Now()
+	g.ResetFlow()
+	g.ResetPotentials()
+	c.ensureScale(g, true)
+	eps := c.maxScaledCost(g)
+	return c.run(g, eps, start, opts)
+}
+
+// SolveIncremental implements IncrementalSolver: it keeps the flow and
+// potentials already on g and restarts epsilon at the largest reduced-cost
+// violation present, falling back to a full restart only if the violation
+// is as large as the maximum cost anyway.
+func (c *CostScaling) SolveIncremental(g *flow.Graph, changes *flow.ChangeSet, opts *Options) (Result, error) {
+	start := time.Now()
+	c.ensureScale(g, false)
+	if c.scale <= int64(g.NumNodes()) {
+		// The graph outgrew the scale the stored potentials use; their
+		// epsilon guarantees are void, so restart scaled state.
+		g.ResetPotentials()
+		c.ensureScale(g, true)
+		eps := c.maxScaledCost(g)
+		return c.run(g, eps, start, opts)
+	}
+	eps := c.maxViolation(g)
+	if eps < 1 {
+		eps = 1
+	}
+	if m := c.maxScaledCost(g); eps > m {
+		eps = m
+	}
+	return c.run(g, eps, start, opts)
+}
+
+// run performs refine passes from eps down to 1.
+func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Options) (Result, error) {
+	c.grow(g.NodeIDBound())
+	alpha := opts.alpha()
+	if eps < 1 {
+		eps = 1
+	}
+	var iters int64
+	for {
+		if err := c.refine(g, eps, opts); err != nil {
+			return Result{}, err
+		}
+		iters++
+		opts.snapshot(start)
+		if eps == 1 {
+			break
+		}
+		eps /= alpha
+		if eps < 1 {
+			eps = 1
+		}
+	}
+	return Result{
+		Algorithm:  c.Name(),
+		Cost:       g.TotalCost(),
+		Runtime:    time.Since(start),
+		Iterations: iters,
+	}, nil
+}
+
+// refine converts the current pseudoflow into a feasible eps-optimal flow:
+// it saturates every residual arc with negative reduced cost, then
+// discharges nodes with positive excess via FIFO push-relabel, where an arc
+// is admissible if its scaled reduced cost is negative and relabeling
+// raises a node's potential just enough to create an admissible arc.
+func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
+	bound := g.NodeIDBound()
+	// Saturate arcs violating eps-optimality (standard refine starts from a
+	// 0-optimal pseudoflow w.r.t. current potentials).
+	for a := 0; a < g.ArcIDBound(); a++ {
+		arc := flow.ArcID(a)
+		if !g.ArcInUse(arc) || g.Resid(arc) <= 0 {
+			continue
+		}
+		if c.scaledReducedCost(g, arc) < 0 {
+			g.Push(arc, g.Resid(arc))
+		}
+	}
+	excess := g.Imbalances()
+	copy(c.excess, excess)
+	for i := len(excess); i < len(c.excess); i++ {
+		c.excess[i] = 0
+	}
+	c.queue = c.queue[:0]
+	for i := 0; i < bound; i++ {
+		c.inQueue[i] = false
+		c.relabels[i] = 0
+		c.curArc[i] = flow.InvalidArc
+	}
+	g.Nodes(func(id flow.NodeID) {
+		c.curArc[id] = g.FirstOut(id)
+		if c.excess[id] > 0 {
+			c.queue = append(c.queue, id)
+			c.inQueue[id] = true
+		}
+	})
+	// Goldberg's price update heuristic (as in cs2): reprice so that every
+	// excess node has an admissible path towards a deficit. Run once up
+	// front — essential for incremental warm starts, where a small epsilon
+	// would otherwise cross large potential gaps one relabel at a time —
+	// and again whenever relabels accumulate.
+	if err := c.priceUpdate(g, eps); err != nil {
+		return err
+	}
+	relabelBudget := g.NumNodes()/2 + 64
+	relabelLimit := int32(64*g.NumNodes() + 4096)
+	relabelsSinceUpdate := 0
+	var work int
+	for qi := 0; qi < len(c.queue); qi++ {
+		u := c.queue[qi]
+		c.inQueue[u] = false
+		if c.excess[u] <= 0 {
+			continue
+		}
+		// Discharge u.
+		for c.excess[u] > 0 {
+			work++
+			if work%stopCheckInterval == 0 && opts.stopped() {
+				return ErrStopped
+			}
+			a := c.curArc[u]
+			if a == flow.InvalidArc {
+				// Relabel: raise potential to create an admissible arc.
+				newPi, ok := c.relabelTarget(g, u, eps)
+				if !ok {
+					return ErrInfeasible
+				}
+				g.SetPotential(u, newPi)
+				c.curArc[u] = g.FirstOut(u)
+				c.relabels[u]++
+				if c.relabels[u] > relabelLimit {
+					return fmt.Errorf("mcmf: cost scaling relabeled node %d more than %d times: %w",
+						u, relabelLimit, ErrInfeasible)
+				}
+				relabelsSinceUpdate++
+				if relabelsSinceUpdate > relabelBudget {
+					if err := c.priceUpdate(g, eps); err != nil {
+						return err
+					}
+					g.Nodes(func(id flow.NodeID) { c.curArc[id] = g.FirstOut(id) })
+					relabelsSinceUpdate = 0
+				}
+				continue
+			}
+			if g.Resid(a) > 0 && c.scaledReducedCost(g, a) < 0 {
+				v := g.Head(a)
+				amt := min64(c.excess[u], g.Resid(a))
+				g.Push(a, amt)
+				c.excess[u] -= amt
+				wasPositive := c.excess[v] > 0
+				c.excess[v] += amt
+				if !wasPositive && c.excess[v] > 0 && !c.inQueue[v] {
+					c.queue = append(c.queue, v)
+					c.inQueue[v] = true
+				}
+				continue
+			}
+			c.curArc[u] = g.NextOut(a)
+		}
+	}
+	// Compact the processed prefix occasionally would matter for memory on
+	// huge runs; the queue is rebuilt per refine, so growth is bounded.
+	return nil
+}
+
+// priceUpdate implements Goldberg's set-relabel heuristic [17]: a
+// multi-source Dijkstra from all deficit nodes backwards over residual
+// arcs, with non-negative integer lengths l(a) = rc(a)/eps + 1 for rc >= 0
+// and 0 for admissible arcs. Raising pi(v) by dist(v)*eps preserves
+// eps-optimality and turns every shortest path from an excess node into an
+// admissible path, collapsing what would otherwise be thousands of
+// single-eps relabels. An excess node that cannot reach any deficit proves
+// the problem infeasible.
+func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
+	const inf = int64(1) << 62
+	bound := g.NodeIDBound()
+	for i := 0; i < bound; i++ {
+		c.dist[i] = inf
+	}
+	c.pq = c.pq[:0]
+	hasExcess := false
+	g.Nodes(func(id flow.NodeID) {
+		if c.excess[id] < 0 {
+			c.dist[id] = 0
+			c.pq = append(c.pq, nodeDist{id, 0})
+		} else if c.excess[id] > 0 {
+			hasExcess = true
+		}
+	})
+	if !hasExcess || len(c.pq) == 0 {
+		return nil
+	}
+	heap.Init(&c.pq)
+	for c.pq.Len() > 0 {
+		nd := heap.Pop(&c.pq).(nodeDist)
+		v := nd.node
+		if nd.dist > c.dist[v] {
+			continue
+		}
+		// Relax predecessors: the in-arcs of v are the partners of v's
+		// out-list entries.
+		for b := g.FirstOut(v); b != flow.InvalidArc; b = g.NextOut(b) {
+			in := g.Reverse(b)
+			if g.Resid(in) <= 0 {
+				continue
+			}
+			u := g.Head(b) // tail of the in-arc
+			rc := c.scaledReducedCost(g, in)
+			var l int64
+			if rc >= 0 {
+				l = rc/eps + 1
+			}
+			if d := nd.dist + l; d < c.dist[u] {
+				c.dist[u] = d
+				heap.Push(&c.pq, nodeDist{u, d})
+			}
+		}
+	}
+	var maxD int64
+	for i := 0; i < bound; i++ {
+		if c.dist[i] != inf && c.dist[i] > maxD {
+			maxD = c.dist[i]
+		}
+	}
+	var infeasible bool
+	g.Nodes(func(id flow.NodeID) {
+		if c.dist[id] == inf {
+			if c.excess[id] > 0 {
+				infeasible = true
+			}
+			c.dist[id] = maxD
+		}
+		if d := c.dist[id]; d > 0 {
+			g.SetPotential(id, g.Potential(id)+d*eps)
+		}
+	})
+	if infeasible {
+		return ErrInfeasible
+	}
+	return nil
+}
+
+// relabelTarget computes the smallest potential increase for u that creates
+// an admissible arc: pi(u) = min over residual out-arcs (pi(head) + scaled
+// cost) + eps.
+func (c *CostScaling) relabelTarget(g *flow.Graph, u flow.NodeID, eps int64) (int64, bool) {
+	const unset = int64(1) << 62
+	best := unset
+	for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+		if g.Resid(a) <= 0 {
+			continue
+		}
+		if v := g.Potential(g.Head(a)) + g.Cost(a)*c.scale; v < best {
+			best = v
+		}
+	}
+	if best == unset {
+		return 0, false
+	}
+	return best + eps, true
+}
+
+// scaledReducedCost is the reduced cost of a in the internally scaled cost
+// domain.
+func (c *CostScaling) scaledReducedCost(g *flow.Graph, a flow.ArcID) int64 {
+	return g.Cost(a)*c.scale - g.Potential(g.Tail(a)) + g.Potential(g.Head(a))
+}
+
+// maxScaledCost returns the largest absolute scaled arc cost (the classic
+// initial epsilon).
+func (c *CostScaling) maxScaledCost(g *flow.Graph) int64 {
+	var m int64 = 1
+	g.ForwardArcs(func(a flow.ArcID) {
+		cost := g.Cost(a)
+		if cost < 0 {
+			cost = -cost
+		}
+		if cost > m {
+			m = cost
+		}
+	})
+	return m * c.scale
+}
+
+// maxViolation returns the largest negative scaled reduced cost over
+// residual arcs — how far the current state is from 0-optimality. Graph
+// changes since the last run are the only possible source of violations.
+func (c *CostScaling) maxViolation(g *flow.Graph) int64 {
+	var m int64
+	for a := 0; a < g.ArcIDBound(); a++ {
+		arc := flow.ArcID(a)
+		if !g.ArcInUse(arc) || g.Resid(arc) <= 0 {
+			continue
+		}
+		if rc := c.scaledReducedCost(g, arc); rc < -m {
+			m = -rc
+		}
+	}
+	return m
+}
+
+func (c *CostScaling) grow(n int) {
+	if len(c.excess) < n {
+		c.excess = make([]int64, n)
+		c.curArc = make([]flow.ArcID, n)
+		c.relabels = make([]int32, n)
+		c.inQueue = make([]bool, n)
+		c.dist = make([]int64, n)
+	}
+}
+
+var _ IncrementalSolver = (*CostScaling)(nil)

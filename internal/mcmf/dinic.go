@@ -1,0 +1,118 @@
+package mcmf
+
+import (
+	"firmament/internal/flow"
+)
+
+// MaxFlow routes as much supply as possible from surplus nodes (imbalance
+// > 0) to deficit nodes (imbalance < 0) over the residual network, ignoring
+// costs, using Dinic's algorithm with multi-source/multi-sink level graphs.
+// It returns the amount of surplus it could not route (zero for feasible
+// networks).
+//
+// Cycle canceling uses MaxFlow to obtain its initial feasible flow
+// (paper §4: "the algorithm first computes a max-flow solution").
+func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
+	n := g.NodeIDBound()
+	excess := g.Imbalances()
+	level := make([]int32, n)
+	iter := make([]flow.ArcID, n)
+	queue := make([]flow.NodeID, 0, n)
+
+	var totalSurplus int64
+	for _, e := range excess {
+		if e > 0 {
+			totalSurplus += e
+		}
+	}
+
+	for totalSurplus > 0 {
+		if opts.stopped() {
+			return totalSurplus, ErrStopped
+		}
+		// BFS phase: level graph from all surplus nodes.
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		g.Nodes(func(id flow.NodeID) {
+			if excess[id] > 0 {
+				level[id] = 0
+				queue = append(queue, id)
+			}
+		})
+		reachedDeficit := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if excess[u] < 0 {
+				reachedDeficit = true
+			}
+			for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+				if g.Resid(a) <= 0 {
+					continue
+				}
+				v := g.Head(a)
+				if level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !reachedDeficit {
+			break
+		}
+		// DFS phase: blocking flow from every surplus node.
+		g.Nodes(func(id flow.NodeID) {
+			iter[id] = g.FirstOut(id)
+		})
+		var dfs func(u flow.NodeID, limit int64) int64
+		dfs = func(u flow.NodeID, limit int64) int64 {
+			if excess[u] < 0 {
+				take := min64(limit, -excess[u])
+				excess[u] += take
+				return take
+			}
+			var total int64
+			for iter[u] != flow.InvalidArc && total < limit {
+				a := iter[u]
+				if g.Resid(a) > 0 {
+					v := g.Head(a)
+					if level[v] == level[u]+1 {
+						d := dfs(v, min64(limit-total, g.Resid(a)))
+						if d > 0 {
+							g.Push(a, d)
+							total += d
+							continue // same arc may carry more
+						}
+						level[v] = -1 // dead end
+					}
+				}
+				iter[u] = g.NextOut(a)
+			}
+			return total
+		}
+		var phasePushed int64
+		g.Nodes(func(id flow.NodeID) {
+			for excess[id] > 0 {
+				pushed := dfs(id, excess[id])
+				if pushed == 0 {
+					break
+				}
+				excess[id] -= pushed
+				phasePushed += pushed
+			}
+		})
+		if phasePushed == 0 {
+			break
+		}
+		totalSurplus -= phasePushed
+	}
+	return totalSurplus, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,463 @@
+package mcmf
+
+import (
+	"time"
+
+	"firmament/internal/flow"
+)
+
+// Relaxation implements the Bertsekas–Tseng relaxation algorithm (paper §4,
+// [4; 5]). It maintains reduced cost optimality at every step (Table 2) and
+// improves feasibility by growing, from a surplus node, a tree Z of nodes
+// connected by zero-reduced-cost residual arcs:
+//
+//   - if a deficit node is labeled, flow is augmented along the tree path
+//     (feasibility improves, potentials unchanged — dual step 1 of §4);
+//   - if the surplus trapped in Z exceeds the residual capacity of the
+//     zero-reduced-cost arcs leaving Z, the algorithm first saturates those
+//     arcs (pushing flow out of Z without labeling — relaxation's
+//     signature move that decouples feasibility from cost) and then raises
+//     the potential of every node in Z by the smallest positive crossing
+//     reduced cost, creating new zero-reduced-cost arcs (dual ascent —
+//     step 2 of §4).
+//
+// Worst-case complexity O(M³·C·U²) — the worst bound in Table 1 — yet on
+// uncontested scheduling graphs it routes most flow in a single pass and
+// outperforms cost scaling by two orders of magnitude (Figure 7). Under
+// contention (oversubscribed clusters, load-spreading policies) the trees
+// grow large and runtime degrades sharply (Figures 8 and 9).
+//
+// Without the ArcPrioritization option, the zero-reduced-cost frontier is
+// explored breadth-first (FIFO), the textbook RELAX discipline; on graphs
+// with large zero-reduced-cost components every tree then visits much of
+// the component before reaching a demand node. ArcPrioritization enables
+// the §5.3.1 heuristic: frontier arcs whose head has a deficit go to a
+// priority stack that is always popped first, and the remaining arcs are
+// explored depth-first — the paper's "hybrid graph traversal that biases
+// towards depth-first exploration when demand nodes can be reached, but
+// uses breadth-first exploration otherwise". Firmament always runs
+// relaxation with the heuristic enabled.
+type Relaxation struct {
+	excess    []int64
+	labeled   []int32 // epoch at which the node joined Z
+	joinDelta []int64 // cumulative ascent delta when the node joined
+	parent    []flow.ArcID
+	epoch     int32
+	znodes    []flow.NodeID
+	heap      arcHeap  // positive-reduced-cost crossing arcs
+	zfront    arcDeque // zero-reduced-cost frontier arcs (LIFO: depth-first)
+	zprio     arcDeque // frontier arcs leading to deficit nodes (AP, §5.3.1)
+	queue     []flow.NodeID
+	inQueue   []bool
+}
+
+// NewRelaxation returns a relaxation solver.
+func NewRelaxation() *Relaxation { return &Relaxation{} }
+
+// Name implements Solver.
+func (r *Relaxation) Name() string { return "relaxation" }
+
+// Solve implements Solver: from-scratch run with zeroed flow and potentials.
+func (r *Relaxation) Solve(g *flow.Graph, opts *Options) (Result, error) {
+	start := time.Now()
+	g.ResetFlow()
+	g.ResetPotentials()
+	return r.run(g, start, opts)
+}
+
+// SolveIncremental implements IncrementalSolver: it keeps the prior flow
+// and potentials. Counter-intuitively this is often slower than solving
+// from scratch — the close-to-optimal state contains large zero-reduced-
+// cost trees that every new source must traverse (paper §5.2) — but the
+// method is provided for completeness and for the experiments that
+// demonstrate exactly that effect.
+func (r *Relaxation) SolveIncremental(g *flow.Graph, changes *flow.ChangeSet, opts *Options) (Result, error) {
+	return r.run(g, time.Now(), opts)
+}
+
+// run restores complementary slackness (saturating residual arcs with
+// negative reduced cost), then processes surplus nodes until none remain.
+func (r *Relaxation) run(g *flow.Graph, start time.Time, opts *Options) (Result, error) {
+	bound := g.NodeIDBound()
+	r.grow(bound)
+	// Enforce reduced cost optimality for the initial pseudoflow.
+	for a := 0; a < g.ArcIDBound(); a++ {
+		arc := flow.ArcID(a)
+		if g.ArcInUse(arc) && g.Resid(arc) > 0 && g.ReducedCost(arc) < 0 {
+			g.Push(arc, g.Resid(arc))
+		}
+	}
+	excess := g.Imbalances()
+	copy(r.excess, excess)
+	for i := len(excess); i < len(r.excess); i++ {
+		r.excess[i] = 0
+	}
+	r.queue = r.queue[:0]
+	for i := 0; i < bound; i++ {
+		r.inQueue[i] = false
+	}
+	g.Nodes(func(id flow.NodeID) {
+		if r.excess[id] > 0 {
+			r.enqueue(id)
+		}
+	})
+
+	var iters int64
+	for len(r.queue) > 0 {
+		s := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inQueue[s] = false
+		if r.excess[s] <= 0 {
+			continue
+		}
+		if opts.stopped() {
+			return Result{}, ErrStopped
+		}
+		if err := r.iterate(g, s, opts); err != nil {
+			return Result{}, err
+		}
+		if r.excess[s] > 0 {
+			r.enqueue(s)
+		}
+		iters++
+		if iters%64 == 0 {
+			opts.snapshot(start)
+		}
+	}
+	return Result{
+		Algorithm:  r.Name(),
+		Cost:       g.TotalCost(),
+		Runtime:    time.Since(start),
+		Iterations: iters,
+	}, nil
+}
+
+// iterate performs one relaxation iteration rooted at surplus node s: grow
+// the zero-reduced-cost tree until either a deficit node is labeled (then
+// augment) or the trapped surplus exceeds the zero-cost out-capacity (then
+// saturate-and-ascend), repeating ascents until an augmentation happens or
+// the surplus has been pushed out of Z entirely.
+func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error {
+	r.epoch++
+	r.znodes = r.znodes[:0]
+	r.heap.reset()
+	r.zfront.reset()
+	r.zprio.reset()
+	var delta int64   // cumulative dual ascent
+	var surplus int64 // total excess trapped in Z
+	var zresid int64  // residual capacity of zero-rc arcs leaving Z
+
+	label := func(u flow.NodeID, via flow.ArcID) {
+		r.labeled[u] = r.epoch
+		r.joinDelta[u] = delta
+		r.parent[u] = via
+		r.znodes = append(r.znodes, u)
+		surplus += r.excess[u]
+		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+			res := g.Resid(a)
+			if res <= 0 {
+				continue
+			}
+			v := g.Head(a)
+			if r.labeled[v] == r.epoch {
+				continue
+			}
+			rc := g.ReducedCost(a) // u joined at current delta, so this is exact
+			switch {
+			case rc == 0:
+				switch {
+				case opts != nil && opts.ArcPrioritization && r.excess[v] < 0:
+					r.zprio.pushFront(a)
+				case opts != nil && opts.ArcPrioritization:
+					r.zfront.pushFront(a) // hybrid: depth-first otherwise
+				default:
+					r.zfront.pushBack(a) // textbook: breadth-first
+				}
+				zresid += res
+			case rc > 0:
+				r.heap.push(rc+delta, a)
+			default:
+				// Complementary slackness violation: repair by saturation,
+				// exactly as the initial enforcement pass would.
+				g.Push(a, res)
+				r.excess[u] -= res
+				r.excess[v] += res
+				surplus -= res
+				if r.excess[v] > 0 {
+					r.enqueue(v)
+				}
+			}
+		}
+	}
+
+	finish := func() {
+		for _, z := range r.znodes {
+			g.SetPotential(z, g.Potential(z)+delta-r.joinDelta[z])
+		}
+	}
+
+	label(s, flow.InvalidArc)
+	for {
+		if surplus <= 0 {
+			// All trapped surplus was pushed out of Z by saturations.
+			finish()
+			return nil
+		}
+		if surplus > zresid {
+			// Relaxation step: saturate every zero-rc arc leaving Z, ...
+			for _, front := range []*arcDeque{&r.zprio, &r.zfront} {
+				for front.len() > 0 {
+					a := front.popFront()
+					v := g.Head(a)
+					if r.labeled[v] == r.epoch {
+						continue
+					}
+					res := g.Resid(a)
+					if res <= 0 {
+						continue
+					}
+					u := g.Tail(a)
+					g.Push(a, res)
+					r.excess[u] -= res
+					r.excess[v] += res
+					surplus -= res
+					if r.excess[v] > 0 {
+						r.enqueue(v)
+					}
+				}
+			}
+			zresid = 0
+			if surplus <= 0 {
+				finish()
+				return nil
+			}
+			// ... then ascend: raise Z's potential by the smallest positive
+			// crossing reduced cost.
+			stale := true
+			for stale {
+				top, ok := r.heap.peek()
+				if !ok {
+					finish()
+					return ErrInfeasible
+				}
+				if r.labeled[g.Head(top.arc)] == r.epoch || g.Resid(top.arc) <= 0 {
+					r.heap.pop()
+					continue
+				}
+				stale = false
+			}
+			top, _ := r.heap.peek()
+			delta = top.key // effective rc of top becomes zero
+			// Move every now-zero crossing arc to the frontier.
+			for {
+				t, ok := r.heap.peek()
+				if !ok || t.key > delta {
+					break
+				}
+				r.heap.pop()
+				v := g.Head(t.arc)
+				if r.labeled[v] == r.epoch || g.Resid(t.arc) <= 0 {
+					continue
+				}
+				switch {
+				case opts != nil && opts.ArcPrioritization && r.excess[v] < 0:
+					r.zprio.pushFront(t.arc)
+				case opts != nil && opts.ArcPrioritization:
+					r.zfront.pushFront(t.arc)
+				default:
+					r.zfront.pushBack(t.arc)
+				}
+				zresid += g.Resid(t.arc)
+			}
+			continue
+		}
+		// Extension step: take a zero-rc frontier arc and label its head,
+		// preferring arcs that lead to demand (AP priority stack).
+		if r.zprio.len() == 0 && r.zfront.len() == 0 {
+			// Counters said capacity exists but entries were stale; force
+			// the ascent path on the next loop.
+			zresid = 0
+			continue
+		}
+		var a flow.ArcID
+		if r.zprio.len() > 0 {
+			a = r.zprio.popFront()
+		} else {
+			a = r.zfront.popFront()
+		}
+		res := g.Resid(a)
+		zresid -= res
+		if zresid < 0 {
+			zresid = 0
+		}
+		v := g.Head(a)
+		if r.labeled[v] == r.epoch || res <= 0 {
+			continue
+		}
+		if r.excess[v] < 0 {
+			// Deficit reached: augment along the tree path s -> v. The
+			// root's surplus can have been pushed out entirely by earlier
+			// saturations; in that case the iteration already made
+			// feasibility progress and there is nothing left to augment.
+			if r.excess[s] <= 0 {
+				finish()
+				return nil
+			}
+			r.parent[v] = a
+			r.labeled[v] = r.epoch // mark for completeness
+			r.joinDelta[v] = delta
+			amt := min64(r.excess[s], -r.excess[v])
+			for x := v; x != s; {
+				pa := r.parent[x]
+				if rr := g.Resid(pa); rr < amt {
+					amt = rr
+				}
+				x = g.Tail(pa)
+			}
+			for x := v; x != s; {
+				pa := r.parent[x]
+				g.Push(pa, amt)
+				x = g.Tail(pa)
+			}
+			r.excess[s] -= amt
+			r.excess[v] += amt
+			// v joined Z after the last ascent, so no potential adjustment
+			// accrues to it; drop it from znodes bookkeeping by leaving
+			// joinDelta[v] = delta.
+			r.znodes = append(r.znodes, v)
+			finish()
+			return nil
+		}
+		label(v, a)
+	}
+}
+
+func (r *Relaxation) enqueue(id flow.NodeID) {
+	if !r.inQueue[id] {
+		r.queue = append(r.queue, id)
+		r.inQueue[id] = true
+	}
+}
+
+func (r *Relaxation) grow(n int) {
+	if len(r.excess) < n {
+		r.excess = make([]int64, n)
+		r.labeled = make([]int32, n)
+		r.joinDelta = make([]int64, n)
+		r.parent = make([]flow.ArcID, n)
+		r.inQueue = make([]bool, n)
+		r.epoch = 0
+	}
+}
+
+var _ IncrementalSolver = (*Relaxation)(nil)
+
+// arcEntry is a heap element: a crossing arc keyed by its reduced cost at
+// insertion time plus the cumulative ascent delta at insertion, so that a
+// single global delta offset keeps all keys comparable.
+type arcEntry struct {
+	key int64
+	arc flow.ArcID
+}
+
+// arcHeap is a binary min-heap of arcEntry.
+type arcHeap struct {
+	items []arcEntry
+}
+
+func (h *arcHeap) reset()    { h.items = h.items[:0] }
+func (h *arcHeap) size() int { return len(h.items) }
+
+func (h *arcHeap) push(key int64, a flow.ArcID) {
+	h.items = append(h.items, arcEntry{key, a})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].key <= h.items[i].key {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *arcHeap) peek() (arcEntry, bool) {
+	if len(h.items) == 0 {
+		return arcEntry{}, false
+	}
+	return h.items[0], true
+}
+
+func (h *arcHeap) pop() (arcEntry, bool) {
+	if len(h.items) == 0 {
+		return arcEntry{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].key < h.items[smallest].key {
+			smallest = l
+		}
+		if rt < last && h.items[rt].key < h.items[smallest].key {
+			smallest = rt
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// arcDeque is a growable ring buffer of ArcIDs supporting O(1) operations at
+// both ends; the arc prioritization heuristic pushes demand-leading arcs to
+// the front and everything else to the back.
+type arcDeque struct {
+	buf        []flow.ArcID
+	head, size int
+}
+
+func (d *arcDeque) reset()   { d.head, d.size = 0, 0 }
+func (d *arcDeque) len() int { return d.size }
+
+func (d *arcDeque) growIfFull() {
+	if d.size < len(d.buf) {
+		return
+	}
+	n := len(d.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]flow.ArcID, n)
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *arcDeque) pushBack(a flow.ArcID) {
+	d.growIfFull()
+	d.buf[(d.head+d.size)%len(d.buf)] = a
+	d.size++
+}
+
+func (d *arcDeque) pushFront(a flow.ArcID) {
+	d.growIfFull()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = a
+	d.size++
+}
+
+func (d *arcDeque) popFront() flow.ArcID {
+	a := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return a
+}

@@ -1,0 +1,171 @@
+package mcmf
+
+import (
+	"firmament/internal/flow"
+)
+
+// InitPotentials assigns node potentials such that every residual arc has
+// non-negative reduced cost, using a label-correcting Bellman-Ford pass over
+// all residual arcs (every node starts at distance zero, which is equivalent
+// to a virtual source with zero-cost arcs to everywhere). Returns
+// ErrInfeasible-style failure as a negative-cycle report: if the residual
+// network contains a negative-cost cycle no such potentials exist and
+// InitPotentials returns false.
+//
+// Successive shortest path and relaxation call this when starting from
+// scratch on graphs that may contain negative-cost arcs.
+func InitPotentials(g *flow.Graph, opts *Options) bool {
+	n := g.NodeIDBound()
+	dist := make([]int64, n)
+	inQueue := make([]bool, n)
+	relaxations := make([]int32, n)
+	queue := make([]flow.NodeID, 0, n)
+	g.Nodes(func(id flow.NodeID) {
+		queue = append(queue, id)
+		inQueue[id] = true
+	})
+	limit := int32(g.NumNodes() + 1)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+			if g.Resid(a) <= 0 {
+				continue
+			}
+			v := g.Head(a)
+			if d := dist[u] + g.Cost(a); d < dist[v] {
+				dist[v] = d
+				if !inQueue[v] {
+					relaxations[v]++
+					if relaxations[v] > limit {
+						return false // negative cycle
+					}
+					queue = append(queue, v)
+					inQueue[v] = true
+				}
+			}
+		}
+	}
+	g.Nodes(func(id flow.NodeID) {
+		g.SetPotential(id, -dist[id])
+	})
+	return true
+}
+
+// negativeCycle finds a directed negative-cost cycle in the residual network
+// of g, returning the arcs of one such cycle, or nil if none exists. Cycle
+// canceling uses this as its core primitive (paper §4).
+//
+// The implementation is Bellman-Ford with parent pointers: if any distance
+// still improves in round N, walking parents from the improved node must
+// enter a cycle.
+func negativeCycle(g *flow.Graph, opts *Options) []flow.ArcID {
+	n := g.NodeIDBound()
+	dist := make([]int64, n)
+	parent := make([]flow.ArcID, n)
+	for i := range parent {
+		parent[i] = flow.InvalidArc
+	}
+	var witness flow.NodeID = flow.InvalidNode
+	rounds := g.NumNodes()
+	for round := 0; round <= rounds; round++ {
+		witness = flow.InvalidNode
+		var work int
+		for a := 0; a < g.ArcIDBound(); a++ {
+			arc := flow.ArcID(a)
+			if !g.ArcInUse(arc) || g.Resid(arc) <= 0 {
+				continue
+			}
+			work++
+			if work%stopCheckInterval == 0 && opts.stopped() {
+				return nil
+			}
+			u := g.Tail(arc)
+			v := g.Head(arc)
+			if d := dist[u] + g.Cost(arc); d < dist[v] {
+				dist[v] = d
+				parent[v] = arc
+				witness = v
+			}
+		}
+		if witness == flow.InvalidNode {
+			return nil // converged: no negative cycle
+		}
+	}
+	// witness is reachable from a negative cycle; walk N parents to land on
+	// the cycle itself, then collect it.
+	v := witness
+	for i := 0; i < rounds; i++ {
+		v = g.Tail(parent[v])
+	}
+	var cycle []flow.ArcID
+	u := v
+	for {
+		a := parent[u]
+		cycle = append(cycle, a)
+		u = g.Tail(a)
+		if u == v {
+			break
+		}
+	}
+	// Reverse into forward order (cosmetic; cancellation is order-agnostic).
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}
+
+// PriceRefine computes node potentials under which the *current* flow on g
+// is eps-optimal — no residual arc has reduced cost below -eps — without
+// modifying the flow. It returns false if the current flow admits no such
+// potentials (i.e., it is not eps-optimal under any prices, which means the
+// residual network has a cycle of total cost < -eps·len).
+//
+// costScale multiplies arc costs before the test, allowing cost scaling to
+// refine in its internally scaled cost domain (§6.2: Firmament applies
+// price refine to a finished relaxation solution so that the next
+// incremental cost scaling run can start from a small epsilon).
+func PriceRefine(g *flow.Graph, costScale, eps int64, opts *Options) bool {
+	n := g.NodeIDBound()
+	dist := make([]int64, n)
+	inQueue := make([]bool, n)
+	relaxations := make([]int32, n)
+	queue := make([]flow.NodeID, 0, n)
+	g.Nodes(func(id flow.NodeID) {
+		queue = append(queue, id)
+		inQueue[id] = true
+	})
+	limit := int32(g.NumNodes() + 1)
+	var work int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+			if g.Resid(a) <= 0 {
+				continue
+			}
+			work++
+			if work%stopCheckInterval == 0 && opts.stopped() {
+				return false
+			}
+			v := g.Head(a)
+			if d := dist[u] + g.Cost(a)*costScale + eps; d < dist[v] {
+				dist[v] = d
+				if !inQueue[v] {
+					relaxations[v]++
+					if relaxations[v] > limit {
+						return false
+					}
+					queue = append(queue, v)
+					inQueue[v] = true
+				}
+			}
+		}
+	}
+	g.Nodes(func(id flow.NodeID) {
+		g.SetPotential(id, -dist[id])
+	})
+	return true
+}

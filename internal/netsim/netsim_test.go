@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"firmament/internal/cluster"
+)
+
+const gbps = 1000 * 1000 * 1000 / 8 // 1 Gb/s in bytes/sec
+
+func testFabric(machines int) *Fabric {
+	c := cluster.New(cluster.Topology{
+		Racks: 1, MachinesPerRack: machines, SlotsPerMachine: 4,
+		NICBps: 10 * gbps,
+	})
+	return NewFabric(c)
+}
+
+func TestSingleFlowGetsFullNIC(t *testing.T) {
+	f := testFabric(4)
+	id := f.StartFlow(0, 1, ClassNormal, 100*gbps, 0)
+	if got := f.Rate(id); got != 10*gbps {
+		t.Fatalf("rate = %d, want %d", got, 10*gbps)
+	}
+}
+
+func TestTwoFlowsShareIngressFairly(t *testing.T) {
+	f := testFabric(4)
+	a := f.StartFlow(0, 2, ClassNormal, 100*gbps, 0)
+	b := f.StartFlow(1, 2, ClassNormal, 100*gbps, 0)
+	ra, rb := f.Rate(a), f.Rate(b)
+	if ra != rb {
+		t.Fatalf("unequal shares: %d vs %d", ra, rb)
+	}
+	if ra < 5*gbps-1000 || ra > 5*gbps {
+		t.Fatalf("share = %d, want ~%d", ra, 5*gbps)
+	}
+}
+
+func TestMaxMinUnevenTopology(t *testing.T) {
+	// Flows: 0->2, 1->2 (share NIC 2 ingress), 3->4 (alone). The lone flow
+	// must get the full 10G while the sharers get 5G each.
+	f := testFabric(6)
+	a := f.StartFlow(0, 2, ClassNormal, 100*gbps, 0)
+	b := f.StartFlow(1, 2, ClassNormal, 100*gbps, 0)
+	c := f.StartFlow(3, 4, ClassNormal, 100*gbps, 0)
+	if got := f.Rate(c); got != 10*gbps {
+		t.Fatalf("lone flow rate = %d, want full NIC", got)
+	}
+	if f.Rate(a)+f.Rate(b) > 10*gbps {
+		t.Fatal("ingress NIC oversubscribed")
+	}
+}
+
+func TestStrictPriorityPreemptsBandwidth(t *testing.T) {
+	// A high-class 4 Gb/s rate-limited flow (the paper's iperf background
+	// batch job) takes its bandwidth first; a normal flow to the same
+	// machine gets only the remainder.
+	f := testFabric(4)
+	bg := f.StartFlow(0, 1, ClassHigh, Persistent, 4*gbps)
+	fg := f.StartFlow(2, 1, ClassNormal, 100*gbps, 0)
+	if got := f.Rate(bg); got != 4*gbps {
+		t.Fatalf("background rate = %d, want %d", got, 4*gbps)
+	}
+	if got := f.Rate(fg); got != 6*gbps {
+		t.Fatalf("foreground rate = %d, want %d", got, 6*gbps)
+	}
+}
+
+func TestRateLimitRespected(t *testing.T) {
+	f := testFabric(2)
+	id := f.StartFlow(0, 1, ClassNormal, Persistent, 3*gbps)
+	if got := f.Rate(id); got != 3*gbps {
+		t.Fatalf("rate = %d, want limit %d", got, 3*gbps)
+	}
+}
+
+func TestLocalFlowBypassesNIC(t *testing.T) {
+	f := testFabric(2)
+	local := f.StartFlow(1, 1, ClassNormal, 100*gbps, 0)
+	remote := f.StartFlow(0, 1, ClassNormal, 100*gbps, 0)
+	if got := f.Rate(remote); got != 10*gbps {
+		t.Fatalf("remote rate = %d, want full NIC despite local flow", got)
+	}
+	id, dt, ok := f.NextCompletion()
+	if !ok || id != local || dt != 0 {
+		t.Fatalf("local flow should complete immediately: id=%d dt=%v ok=%v", id, dt, ok)
+	}
+}
+
+func TestAdvanceAndCompletion(t *testing.T) {
+	f := testFabric(2)
+	id := f.StartFlow(0, 1, ClassNormal, 10*gbps, 0) // exactly 1s at full rate
+	next, dt, ok := f.NextCompletion()
+	if !ok || next != id {
+		t.Fatal("NextCompletion missing the only flow")
+	}
+	if dt != time.Second {
+		t.Fatalf("completion in %v, want 1s", dt)
+	}
+	f.Advance(500 * time.Millisecond)
+	if rem := f.Flow(id).Remaining; rem != 5*gbps {
+		t.Fatalf("remaining = %d after 0.5s, want %d", rem, 5*gbps)
+	}
+	f.Advance(500 * time.Millisecond)
+	if rem := f.Flow(id).Remaining; rem != 0 {
+		t.Fatalf("remaining = %d after 1s, want 0", rem)
+	}
+	f.StopFlow(id)
+	if _, _, ok := f.NextCompletion(); ok {
+		t.Fatal("NextCompletion after the only flow stopped")
+	}
+}
+
+func TestPersistentFlowsNeverComplete(t *testing.T) {
+	f := testFabric(2)
+	f.StartFlow(0, 1, ClassHigh, Persistent, 4*gbps)
+	f.Advance(time.Hour)
+	if _, _, ok := f.NextCompletion(); ok {
+		t.Fatal("persistent flow reported a completion")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	f := testFabric(4)
+	f.StartFlow(0, 1, ClassNormal, Persistent, 2*gbps)
+	f.StartFlow(0, 2, ClassNormal, Persistent, 3*gbps)
+	if got := f.EgressUsage(0); got != 5*gbps {
+		t.Fatalf("egress usage = %d, want %d", got, 5*gbps)
+	}
+	if got := f.IngressUsage(1); got != 2*gbps {
+		t.Fatalf("ingress usage = %d, want %d", got, 2*gbps)
+	}
+	if got := f.SpareIngress(2); got != 7*gbps {
+		t.Fatalf("spare ingress = %d, want %d", got, 7*gbps)
+	}
+}
+
+func TestRatesRecomputeOnFlowChanges(t *testing.T) {
+	f := testFabric(3)
+	a := f.StartFlow(0, 2, ClassNormal, Persistent, 0)
+	b := f.StartFlow(1, 2, ClassNormal, Persistent, 0)
+	if f.Rate(a) != 5*gbps {
+		t.Fatalf("rate(a) = %d with contender, want %d", f.Rate(a), 5*gbps)
+	}
+	f.StopFlow(b)
+	if f.Rate(a) != 10*gbps {
+		t.Fatalf("rate(a) = %d after contender left, want full NIC", f.Rate(a))
+	}
+}
+
+func TestManyFlowsConserveCapacity(t *testing.T) {
+	f := testFabric(8)
+	for src := 0; src < 7; src++ {
+		f.StartFlow(cluster.MachineID(src), 7, ClassNormal, Persistent, 0)
+	}
+	var total int64
+	for id := FlowID(0); id < 7; id++ {
+		total += f.Rate(id)
+	}
+	if total > 10*gbps {
+		t.Fatalf("ingress oversubscribed: %d > %d", total, 10*gbps)
+	}
+	if total < 10*gbps-7000 { // water-filling rounding loses < 1 B/s per flow per round
+		t.Fatalf("ingress underutilized: %d", total)
+	}
+}

@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"time"
+
+	"firmament/internal/cluster"
+)
+
+// LoadSpread is the trivial load-spreading policy of paper Fig. 6a: every
+// task points at a single cluster-wide aggregator X, and X's per-machine
+// arc costs are proportional to the number of tasks already running there,
+// so machines fill up evenly (as in Docker SwarmKit).
+//
+// The paper uses this policy to expose the relaxation algorithm's edge
+// case: under-populated machines become contended destinations, and
+// relaxation's runtime grows linearly with the size of an arriving job
+// (Figure 9) while cost scaling's stays flat.
+type LoadSpread struct {
+	cl *cluster.Cluster
+
+	// CostPerTask is the per-running-task cost increment on an X→machine
+	// arc (default 100).
+	CostPerTask Cost
+	// BaseUnscheduled is the cost of leaving a task unscheduled before
+	// wait-time growth (default 1000).
+	BaseUnscheduled Cost
+	// PreemptionPenalty prices evicting a running task (default 800).
+	PreemptionPenalty Cost
+}
+
+// NewLoadSpread returns the load-spreading policy over cl.
+func NewLoadSpread(cl *cluster.Cluster) *LoadSpread {
+	return &LoadSpread{
+		cl:          cl,
+		CostPerTask: 100,
+		// The preemption penalty exceeds BaseUnscheduled + MaxWaitCost +
+		// the costliest placement, so waiting batch work never evicts
+		// running batch work.
+		BaseUnscheduled:   1000,
+		PreemptionPenalty: 8000,
+	}
+}
+
+// Name implements CostModel.
+func (p *LoadSpread) Name() string { return "load-spreading" }
+
+// BeginRound implements CostModel. Load counts are read live from the
+// cluster, so there is nothing to precompute.
+func (p *LoadSpread) BeginRound(now time.Duration) {}
+
+// UnscheduledCost implements CostModel.
+func (p *LoadSpread) UnscheduledCost(t *cluster.Task, now time.Duration) Cost {
+	if t.State == cluster.TaskRunning {
+		return p.PreemptionPenalty
+	}
+	return p.BaseUnscheduled + WaitCost(now-t.SubmitTime)
+}
+
+// TaskArcs implements CostModel: pending tasks connect to X; running tasks
+// connect to their current machine at zero cost (continuing is free).
+func (p *LoadSpread) TaskArcs(t *cluster.Task, now time.Duration) []TaskArc {
+	if t.State == cluster.TaskRunning {
+		return []TaskArc{{Target: ToMachine(t.Machine), Cost: 0, Capacity: 1}}
+	}
+	return []TaskArc{{Target: ToAgg(ClusterAgg), Cost: 0, Capacity: 1}}
+}
+
+// Aggregators implements CostModel.
+func (p *LoadSpread) Aggregators() []AggID { return []AggID{ClusterAgg} }
+
+// AggArcs implements CostModel: X has one unit-capacity arc per free slot
+// of every healthy machine, priced by the occupancy level that slot would
+// create — the k-th additional task on a machine costs
+// (running+k)·CostPerTask, so machines fill evenly (paper Fig. 6a: "the
+// number of tasks on a machine only increases once all other machines have
+// at least as many tasks"). The graduated unit arcs also make
+// under-populated machines contended destinations, the property that slows
+// relaxation down (paper §4.3, Figure 9).
+func (p *LoadSpread) AggArcs(id AggID, now time.Duration) []MachineArc {
+	if id != ClusterAgg {
+		return nil
+	}
+	var out []MachineArc
+	p.cl.Machines(func(m *cluster.Machine) {
+		if !m.Healthy() {
+			return
+		}
+		for level := m.Running(); level < m.Slots; level++ {
+			out = append(out, MachineArc{
+				Machine:  m.ID,
+				Key:      int64(level),
+				Cost:     Cost(level) * p.CostPerTask,
+				Capacity: 1,
+			})
+		}
+	})
+	return out
+}
+
+var _ CostModel = (*LoadSpread)(nil)

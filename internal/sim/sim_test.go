@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"firmament/internal/baselines"
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/netsim"
+	"firmament/internal/policy"
+	"firmament/internal/storage"
+	"firmament/internal/trace"
+)
+
+const gbps = 1000 * 1000 * 1000 / 8
+
+func flowConfig(w *trace.Workload, topo cluster.Topology, mode core.SolverMode) Config {
+	return Config{
+		Topology: topo,
+		Workload: w,
+		Seed:     1,
+		NewFlowScheduler: func(env *Env) *core.Scheduler {
+			cfg := core.DefaultConfig()
+			cfg.Mode = mode
+			return core.NewScheduler(env.Cluster, policy.NewLoadSpread(env.Cluster), cfg)
+		},
+	}
+}
+
+func smallTopo() cluster.Topology {
+	return cluster.Topology{Racks: 2, MachinesPerRack: 4, SlotsPerMachine: 2}
+}
+
+func TestFlowSimulationCompletesWorkload(t *testing.T) {
+	w := trace.Uniform(4, 200*time.Millisecond, 100*time.Millisecond, 2*time.Second)
+	res, err := Run(flowConfig(w, smallTopo(), core.ModeFirmament))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.NumTasks()
+	if res.TasksCompleted != want {
+		t.Fatalf("completed %d tasks, want %d", res.TasksCompleted, want)
+	}
+	if res.PlacementLatency.N() != want {
+		t.Fatalf("placement latencies: %d, want %d", res.PlacementLatency.N(), want)
+	}
+	if res.Rounds == 0 || res.AlgorithmRuntime.N() == 0 {
+		t.Fatal("no scheduling rounds recorded")
+	}
+	// Response time ≥ task duration always.
+	if res.ResponseTime.Min() < 0.2 {
+		t.Fatalf("response time %.3fs below task duration", res.ResponseTime.Min())
+	}
+	// Job response time is the max of its tasks'.
+	if res.JobResponseTime.N() != len(w.Jobs) {
+		t.Fatalf("job responses: %d, want %d", res.JobResponseTime.N(), len(w.Jobs))
+	}
+	if res.JobResponseTime.Max() < res.ResponseTime.Max()-0.001 {
+		t.Fatal("job response below task response")
+	}
+}
+
+func TestFlowSimulationAllModes(t *testing.T) {
+	for _, mode := range []core.SolverMode{
+		core.ModeFirmament, core.ModeRelaxationOnly,
+		core.ModeIncrementalCostScaling, core.ModeQuincy,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			w := trace.Uniform(3, 100*time.Millisecond, 150*time.Millisecond, time.Second)
+			res, err := Run(flowConfig(w, smallTopo(), mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TasksCompleted != w.NumTasks() {
+				t.Fatalf("completed %d/%d", res.TasksCompleted, w.NumTasks())
+			}
+		})
+	}
+}
+
+func TestQueueSchedulersCompleteWorkload(t *testing.T) {
+	makers := map[string]func(env *Env) baselines.QueueScheduler{
+		"sparrow":    func(env *Env) baselines.QueueScheduler { return baselines.NewSparrow(env.Cluster, 1) },
+		"swarmkit":   func(env *Env) baselines.QueueScheduler { return baselines.NewSwarmKit(env.Cluster) },
+		"kubernetes": func(env *Env) baselines.QueueScheduler { return baselines.NewKubernetes(env.Cluster) },
+		"mesos":      func(env *Env) baselines.QueueScheduler { return baselines.NewMesos(env.Cluster, 1) },
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			w := trace.Uniform(4, 150*time.Millisecond, 100*time.Millisecond, 2*time.Second)
+			res, err := Run(Config{
+				Topology:          smallTopo(),
+				Workload:          w,
+				Seed:              7,
+				NewQueueScheduler: mk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TasksCompleted != w.NumTasks() {
+				t.Fatalf("completed %d/%d", res.TasksCompleted, w.NumTasks())
+			}
+			if res.SchedulerName != name {
+				t.Fatalf("name = %q, want %q", res.SchedulerName, name)
+			}
+			// Queue-based placement is fast when slots are free.
+			if res.PlacementLatency.Median() > 0.1 {
+				t.Fatalf("median placement latency %.3fs too high for queue scheduler",
+					res.PlacementLatency.Median())
+			}
+		})
+	}
+}
+
+func TestOverloadedClusterQueuesTasks(t *testing.T) {
+	// 4 slots, 8 concurrent tasks: half must wait for completions.
+	topo := cluster.Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 2}
+	w := trace.SingleJob(8, 300*time.Millisecond)
+	res, err := Run(flowConfig(w, topo, core.ModeFirmament))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 8 {
+		t.Fatalf("completed %d/8", res.TasksCompleted)
+	}
+	// The second wave waits ≥ one task duration.
+	if res.PlacementLatency.Max() < 0.3 {
+		t.Fatalf("max placement latency %.3fs; expected waiting beyond 0.3s",
+			res.PlacementLatency.Max())
+	}
+}
+
+func TestFabricTransfersExtendResponseTime(t *testing.T) {
+	topo := cluster.Topology{Racks: 1, MachinesPerRack: 4, SlotsPerMachine: 2, NICBps: 10 * gbps}
+	// One task, 5 GB input, 100ms compute: response dominated by the
+	// ~4s transfer (10 Gb/s NIC) unless data happens to be local.
+	w := &trace.Workload{
+		Jobs: []trace.JobTrace{{
+			Submit: 0, Class: cluster.Batch,
+			Tasks: []trace.TaskTrace{{Duration: 100 * time.Millisecond, InputSize: 5 * gbps}},
+		}},
+		Horizon: time.Second,
+	}
+	cfg := Config{
+		Topology:      topo,
+		Workload:      w,
+		Seed:          3,
+		UseStorage:    true,
+		StorageConfig: storage.Config{Replication: 1, BlockSize: 8 << 30, Seed: 3},
+		UseFabric:     true,
+		NewQueueScheduler: func(env *Env) baselines.QueueScheduler {
+			return baselines.NewMesos(env.Cluster, 99) // likely remote placement
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 1 {
+		t.Fatalf("completed %d/1", res.TasksCompleted)
+	}
+	if res.TotalBytes != 5*gbps {
+		t.Fatalf("total bytes = %d, want %d", res.TotalBytes, 5*gbps)
+	}
+	if res.Locality() >= 1 {
+		t.Skip("input landed local; no transfer to observe")
+	}
+	// Fully remote 625 MB at 1.25 GB/s takes 0.5s.
+	if res.ResponseTime.Max() < 0.4 {
+		t.Fatalf("remote read finished in %.3fs, faster than the NIC allows",
+			res.ResponseTime.Max())
+	}
+}
+
+func TestBackgroundFlowsSlowTransfers(t *testing.T) {
+	topo := cluster.Topology{Racks: 1, MachinesPerRack: 4, SlotsPerMachine: 1, NICBps: 10 * gbps}
+	mk := func(bg []BackgroundFlow, seed int64) *Results {
+		w := &trace.Workload{
+			Jobs: []trace.JobTrace{{
+				Submit: 0, Class: cluster.Batch,
+				Tasks: []trace.TaskTrace{{Duration: 50 * time.Millisecond, InputSize: 4 * gbps}},
+			}},
+			Horizon: time.Second,
+		}
+		res, err := Run(Config{
+			Topology:   topo,
+			Workload:   w,
+			Seed:       seed,
+			UseStorage: true,
+			UseFabric:  true,
+			Background: bg,
+			NewQueueScheduler: func(env *Env) baselines.QueueScheduler {
+				return baselines.NewSwarmKit(env.Cluster)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	quiet := mk(nil, 5)
+	if quiet.Locality() >= 1 {
+		t.Skip("input landed local; no transfer to compare")
+	}
+	// Saturate every NIC with high-priority background traffic.
+	var bg []BackgroundFlow
+	for m := 0; m < 4; m++ {
+		bg = append(bg, BackgroundFlow{
+			Src: cluster.MachineID(m), Dst: cluster.MachineID((m + 1) % 4),
+			Class: netsim.ClassHigh, RateLimit: 9 * gbps,
+		})
+	}
+	loaded := mk(bg, 5)
+	if loaded.ResponseTime.Max() <= quiet.ResponseTime.Max()*1.5 {
+		t.Fatalf("background traffic did not slow the transfer: %.3fs vs %.3fs",
+			loaded.ResponseTime.Max(), quiet.ResponseTime.Max())
+	}
+}
+
+func TestServiceTasksDoNotBlockTermination(t *testing.T) {
+	w := &trace.Workload{
+		Jobs: []trace.JobTrace{
+			{Submit: 0, Class: cluster.Service, Priority: 10,
+				Tasks: []trace.TaskTrace{{Duration: 100 * time.Hour}}},
+			{Submit: 0, Class: cluster.Batch,
+				Tasks: []trace.TaskTrace{{Duration: 100 * time.Millisecond}}},
+		},
+		Horizon: time.Second,
+	}
+	res, err := Run(flowConfig(w, smallTopo(), core.ModeFirmament))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 1 {
+		t.Fatalf("completed %d, want just the batch task", res.TasksCompleted)
+	}
+	if res.VirtualEnd > time.Minute {
+		t.Fatalf("simulation ran to %v despite batch work finishing early", res.VirtualEnd)
+	}
+}
+
+func TestTimelineRecordsUtilization(t *testing.T) {
+	w := trace.Uniform(4, 200*time.Millisecond, 100*time.Millisecond, time.Second)
+	res, err := Run(flowConfig(w, smallTopo(), core.ModeFirmament))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != res.Rounds {
+		t.Fatalf("timeline %d entries, rounds %d", len(res.Timeline), res.Rounds)
+	}
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].At < res.Timeline[i-1].At {
+			t.Fatal("timeline not monotone")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := trace.SingleJob(1, time.Second)
+	if _, err := Run(Config{Topology: smallTopo(), Workload: w}); err == nil {
+		t.Fatal("accepted config without scheduler")
+	}
+	if _, err := Run(Config{
+		Topology: smallTopo(), Workload: w, UseFabric: true,
+		NewQueueScheduler: func(env *Env) baselines.QueueScheduler { return baselines.NewSwarmKit(env.Cluster) },
+	}); err == nil {
+		t.Fatal("accepted fabric without storage")
+	}
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"firmament/internal/cluster"
+)
+
+func testCluster() *cluster.Cluster {
+	return cluster.New(cluster.Topology{Racks: 4, MachinesPerRack: 10, SlotsPerMachine: 2})
+}
+
+func TestAddFileBlockCount(t *testing.T) {
+	c := testCluster()
+	s := NewStore(c, Config{BlockSize: 100, Seed: 1})
+	cases := []struct {
+		size   int64
+		blocks int
+	}{
+		{1, 1}, {99, 1}, {100, 1}, {101, 2}, {1000, 10}, {0, 1},
+	}
+	for _, tc := range cases {
+		id := s.AddFile(tc.size)
+		if got := s.Blocks(id); got != tc.blocks {
+			t.Fatalf("Blocks(size=%d) = %d, want %d", tc.size, got, tc.blocks)
+		}
+	}
+}
+
+func TestLocalityFractionsSumProperties(t *testing.T) {
+	c := testCluster()
+	s := NewStore(c, Config{BlockSize: 1 << 20, Replication: 3, Seed: 42})
+	id := s.AddFile(64 << 20) // 64 blocks
+	// Sum of machine counts = blocks × replication.
+	var sum float64
+	c.Machines(func(m *cluster.Machine) {
+		sum += s.MachineLocality(id, m.ID)
+	})
+	if want := 3.0; math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum of machine localities = %v, want %v (replication)", sum, want)
+	}
+	// Every machine locality is within [0, 1]; rack locality bounds machine.
+	c.Machines(func(m *cluster.Machine) {
+		ml := s.MachineLocality(id, m.ID)
+		rl := s.RackLocality(id, m.Rack)
+		if ml < 0 || ml > 1 || rl < ml {
+			t.Fatalf("machine %d: ml=%v rl=%v", m.ID, ml, rl)
+		}
+	})
+}
+
+func TestMachinePreferencesThreshold(t *testing.T) {
+	c := testCluster()
+	s := NewStore(c, Config{BlockSize: 1 << 20, Seed: 7})
+	id := s.AddFile(32 << 20)
+	all := s.MachinePreferences(id, 0.000001)
+	some := s.MachinePreferences(id, 0.14)
+	if len(some) > len(all) {
+		t.Fatal("higher threshold yielded more preferences")
+	}
+	for _, p := range some {
+		if p.Fraction < 0.14 {
+			t.Fatalf("preference below threshold: %+v", p)
+		}
+	}
+	// Sorted descending by fraction.
+	for i := 1; i < len(all); i++ {
+		if all[i].Fraction > all[i-1].Fraction {
+			t.Fatal("preferences not sorted")
+		}
+	}
+}
+
+func TestRackPreferences(t *testing.T) {
+	c := testCluster()
+	s := NewStore(c, Config{BlockSize: 1 << 20, Seed: 3})
+	id := s.AddFile(16 << 20)
+	racks := s.RackPreferences(id, 0.01)
+	if len(racks) == 0 {
+		t.Fatal("no rack preferences for a 16-block file")
+	}
+	var total float64
+	for _, p := range racks {
+		total += p.Fraction
+	}
+	if total < 1.0-1e-9 {
+		// With 3-replica placement across 4 racks, every block is in at
+		// least one rack, so fractions must cover the file at least once.
+		t.Fatalf("rack fractions sum %v < 1", total)
+	}
+}
+
+func TestBestReplicaPrefersLocalThenRack(t *testing.T) {
+	c := testCluster()
+	s := NewStore(c, Config{BlockSize: 1 << 30, Seed: 11})
+	id := s.AddFile(1) // single block, three replicas
+	prefs := s.MachinePreferences(id, 0.5)
+	if len(prefs) != 3 {
+		t.Fatalf("expected 3 replica holders, got %d", len(prefs))
+	}
+	holder := prefs[0].Machine
+	if got, ok := s.BestReplica(id, holder); !ok || got != holder {
+		t.Fatalf("BestReplica on holder = %v, want %v", got, holder)
+	}
+	// A reader elsewhere gets some replica holder.
+	var reader cluster.MachineID = -1
+	c.Machines(func(m *cluster.Machine) {
+		if reader >= 0 {
+			return
+		}
+		if s.MachineLocality(id, m.ID) == 0 {
+			reader = m.ID
+		}
+	})
+	got, ok := s.BestReplica(id, reader)
+	if !ok || s.MachineLocality(id, got) == 0 {
+		t.Fatalf("BestReplica returned non-holder %v", got)
+	}
+}
+
+func TestBestReplicaUnknownFile(t *testing.T) {
+	c := testCluster()
+	s := NewStore(c, Config{Seed: 1})
+	if _, ok := s.BestReplica(999, 0); ok {
+		t.Fatal("BestReplica found unknown file")
+	}
+	if s.RemoteFraction(999, 0) != 1 {
+		t.Fatal("RemoteFraction of unknown file should be 1")
+	}
+}
+
+func TestQuickReplicasDistinct(t *testing.T) {
+	check := func(seed int64) bool {
+		c := testCluster()
+		s := NewStore(c, Config{BlockSize: 1 << 30, Replication: 3, Seed: seed})
+		id := s.AddFile(1)
+		prefs := s.MachinePreferences(id, 0.0001)
+		if len(prefs) != 3 {
+			return false
+		}
+		seen := map[cluster.MachineID]bool{}
+		for _, p := range prefs {
+			if seen[p.Machine] {
+				return false
+			}
+			seen[p.Machine] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	build := func() []Locality {
+		c := testCluster()
+		s := NewStore(c, Config{BlockSize: 1 << 20, Seed: 99})
+		id := s.AddFile(10 << 20)
+		return s.MachinePreferences(id, 0.0001)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic placement")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic placement")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"firmament/internal/cluster"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Machines: 100, Horizon: 5 * time.Minute, Seed: 4}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Jobs) != len(b.Jobs) || a.NumTasks() != b.NumTasks() {
+		t.Fatalf("non-deterministic: %d/%d jobs, %d/%d tasks",
+			len(a.Jobs), len(b.Jobs), a.NumTasks(), b.NumTasks())
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Submit != b.Jobs[i].Submit || len(a.Jobs[i].Tasks) != len(b.Jobs[i].Tasks) {
+			t.Fatalf("job %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateJobsSortedAndWithinHorizon(t *testing.T) {
+	w := Generate(Config{Machines: 200, Horizon: 10 * time.Minute, Seed: 9})
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Submit < w.Jobs[i-1].Submit {
+			t.Fatal("jobs not sorted by submission time")
+		}
+		if w.Jobs[i].Submit >= w.Horizon {
+			t.Fatal("job submitted after horizon")
+		}
+	}
+}
+
+func TestServiceShareAtTimeZero(t *testing.T) {
+	cfg := Config{Machines: 500, SlotsPerMachine: 10, Utilization: 0.6, ServiceShare: 0.4, Seed: 2}
+	w := Generate(cfg)
+	serviceTasks := 0
+	for _, j := range w.Jobs {
+		if j.Class == cluster.Service {
+			if j.Submit != 0 {
+				t.Fatal("service job submitted after t=0")
+			}
+			serviceTasks += len(j.Tasks)
+			for _, task := range j.Tasks {
+				if task.Duration < 10*cfg.Horizon {
+					// withDefaults sets Horizon; just require "very long".
+					if task.Duration < time.Hour {
+						t.Fatalf("service task too short: %v", task.Duration)
+					}
+				}
+			}
+		}
+	}
+	want := int(float64(500*10) * 0.6 * 0.4)
+	if serviceTasks != want {
+		t.Fatalf("service tasks = %d, want %d", serviceTasks, want)
+	}
+}
+
+func TestBatchArrivalRateMatchesLittlesLaw(t *testing.T) {
+	// Expected running batch tasks = arrival rate × mean duration; generate
+	// a long horizon and check the totals are in the right ballpark.
+	cfg := Config{
+		Machines: 1000, SlotsPerMachine: 10, Utilization: 0.5, ServiceShare: 0.4,
+		Horizon: 2 * time.Hour, Seed: 7,
+	}
+	w := Generate(cfg)
+	var totalTaskSeconds float64
+	for _, j := range w.Jobs {
+		if j.Class != cluster.Batch {
+			continue
+		}
+		for _, task := range j.Tasks {
+			totalTaskSeconds += task.Duration.Seconds()
+		}
+	}
+	// Average concurrency implied by the generated work.
+	implied := totalTaskSeconds / cfg.Horizon.Seconds()
+	target := float64(1000*10) * 0.5 * 0.6 // batch share of utilized slots
+	if implied < target*0.5 || implied > target*2.0 {
+		t.Fatalf("implied batch concurrency %.0f not within 2x of target %.0f", implied, target)
+	}
+}
+
+func TestJobSizeTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	over1000 := 0
+	max := 0
+	for i := 0; i < n; i++ {
+		s := batchJobSize(rng)
+		if s > 1000 {
+			over1000++
+		}
+		if s > max {
+			max = s
+		}
+	}
+	frac := float64(over1000) / n
+	// Paper §4.3: 1.2% of jobs have over 1,000 tasks, some over 20,000.
+	if frac < 0.008 || frac > 0.016 {
+		t.Fatalf("fraction of jobs >1000 tasks = %.4f, want ≈0.012", frac)
+	}
+	if max < 5000 {
+		t.Fatalf("max job size %d, expected a heavy tail", max)
+	}
+	if max > 20000 {
+		t.Fatalf("max job size %d exceeds the 20k cap", max)
+	}
+}
+
+func TestDurationDistributionAtSpeedup(t *testing.T) {
+	// Paper §7.4: at 200× speedup the median batch task takes 2.1s, p90
+	// 18s, p99 92s.
+	cfg := Config{Speedup: 200}.withDefaults()
+	rng := rand.New(rand.NewSource(3))
+	var ds []float64
+	for i := 0; i < 100000; i++ {
+		ds = append(ds, sampleDuration(rng, cfg).Seconds())
+	}
+	sort.Float64s(ds)
+	med := ds[len(ds)/2]
+	p90 := ds[len(ds)*90/100]
+	p99 := ds[len(ds)*99/100]
+	if math.Abs(med-2.1) > 0.4 {
+		t.Fatalf("median = %.2fs, want ≈2.1s", med)
+	}
+	if p90 < 12 || p90 > 26 {
+		t.Fatalf("p90 = %.1fs, want ≈18s", p90)
+	}
+	if p99 < 55 || p99 > 140 {
+		t.Fatalf("p99 = %.1fs, want ≈92s", p99)
+	}
+}
+
+func TestInputSizesScaleWithRuntime(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	rng := rand.New(rand.NewSource(5))
+	shortTotal, longTotal := 0.0, 0.0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		shortTotal += float64(sampleInput(rng, cfg, 10*time.Second))
+		longTotal += float64(sampleInput(rng, cfg, 1000*time.Second))
+	}
+	if longTotal <= shortTotal*5 {
+		t.Fatalf("input not correlated with runtime: short=%g long=%g", shortTotal, longTotal)
+	}
+}
+
+func TestSpeedupShrinksDurationsNotInputs(t *testing.T) {
+	slow := Config{Machines: 500, Seed: 11, Horizon: 30 * time.Minute, Speedup: 1}
+	fast := Config{Machines: 500, Seed: 11, Horizon: 30 * time.Minute, Speedup: 100}
+	ws, wf := Generate(slow), Generate(fast)
+	batchStats := func(w *Workload) (jobs int, meanDur float64) {
+		var sum float64
+		n := 0
+		for _, j := range w.Jobs {
+			if j.Class != cluster.Batch {
+				continue
+			}
+			jobs++
+			for _, task := range j.Tasks {
+				sum += task.Duration.Seconds()
+				n++
+			}
+		}
+		return jobs, sum / float64(n)
+	}
+	slowJobs, slowDur := batchStats(ws)
+	fastJobs, fastDur := batchStats(wf)
+	if fastDur > slowDur/20 {
+		t.Fatalf("speedup did not shrink durations: %.1fs vs %.1fs", fastDur, slowDur)
+	}
+	// More batch jobs arrive in the same horizon at higher speedup.
+	if fastJobs < slowJobs*20 {
+		t.Fatalf("speedup did not raise arrival rate: %d vs %d batch jobs", fastJobs, slowJobs)
+	}
+}
+
+func TestPrefillApproximatesTarget(t *testing.T) {
+	cfg := Config{
+		Machines: 400, SlotsPerMachine: 10, Utilization: 0.5, ServiceShare: 0.4,
+		Horizon: time.Minute, Seed: 13, Prefill: true,
+	}
+	w := Generate(cfg)
+	prefilled := 0
+	for _, j := range w.Jobs {
+		if j.Class == cluster.Batch && j.Submit == 0 {
+			prefilled += len(j.Tasks)
+		}
+	}
+	target := int(float64(400*10) * 0.5 * 0.6)
+	if prefilled < target || prefilled > target+20000 {
+		t.Fatalf("prefill = %d tasks, want ≥ %d (plus one job overshoot)", prefilled, target)
+	}
+}
+
+func TestUniformWorkload(t *testing.T) {
+	w := Uniform(10, 100*time.Millisecond, time.Second, 5*time.Second)
+	if len(w.Jobs) != 5 {
+		t.Fatalf("jobs = %d, want 5", len(w.Jobs))
+	}
+	for _, j := range w.Jobs {
+		if len(j.Tasks) != 10 || j.Tasks[0].Duration != 100*time.Millisecond {
+			t.Fatalf("unexpected job shape: %+v", j)
+		}
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	w := SingleJob(3000, time.Minute)
+	if len(w.Jobs) != 1 || len(w.Jobs[0].Tasks) != 3000 {
+		t.Fatal("SingleJob shape wrong")
+	}
+}
