@@ -1,0 +1,197 @@
+// firmament-serve is a closed-loop load driver for the long-running
+// scheduling service: N concurrent submitters hammer the service's front
+// door, completing every task the moment it is placed, and the driver
+// reports the sustained placement throughput and latency percentiles the
+// service achieved.
+//
+// Usage:
+//
+//	firmament-serve -submitters 8 -duration 5s
+//	firmament-serve -machines 256 -slots 16 -tasks-per-job 64 -mode relaxation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"firmament"
+)
+
+// jobTracker correlates placement events with in-flight jobs. Placements
+// can arrive before the submitter has registered its job (submission and
+// the scheduling loop race), so counts accumulate for unknown jobs too.
+type jobTracker struct {
+	mu      sync.Mutex
+	seen    map[firmament.JobID]map[firmament.TaskID]bool
+	need    map[firmament.JobID]int
+	waiters map[firmament.JobID]chan struct{}
+	done    map[firmament.JobID]bool // finished jobs: late re-placements are ignored
+}
+
+func newJobTracker() *jobTracker {
+	return &jobTracker{
+		seen:    make(map[firmament.JobID]map[firmament.TaskID]bool),
+		need:    make(map[firmament.JobID]int),
+		waiters: make(map[firmament.JobID]chan struct{}),
+		done:    make(map[firmament.JobID]bool),
+	}
+}
+
+// register declares a job with n tasks and returns a channel closed when
+// every task has been placed at least once.
+func (tr *jobTracker) register(j firmament.JobID, n int) <-chan struct{} {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ch := make(chan struct{})
+	tr.need[j] = n
+	tr.waiters[j] = ch
+	if len(tr.seen[j]) >= n {
+		tr.finishLocked(j)
+	}
+	return ch
+}
+
+// placed records one placement event.
+func (tr *jobTracker) placed(j firmament.JobID, t firmament.TaskID) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.done[j] {
+		return // re-placement after a preemption on a finished job
+	}
+	m := tr.seen[j]
+	if m == nil {
+		m = make(map[firmament.TaskID]bool)
+		tr.seen[j] = m
+	}
+	m[t] = true
+	if n, ok := tr.need[j]; ok && len(m) >= n {
+		tr.finishLocked(j)
+	}
+}
+
+func (tr *jobTracker) finishLocked(j firmament.JobID) {
+	close(tr.waiters[j])
+	delete(tr.waiters, j)
+	delete(tr.need, j)
+	delete(tr.seen, j)
+	tr.done[j] = true
+}
+
+func main() {
+	var (
+		submitters  = flag.Int("submitters", 8, "concurrent closed-loop submitters")
+		duration    = flag.Duration("duration", 5*time.Second, "measurement duration")
+		machines    = flag.Int("machines", 64, "cluster size")
+		perRack     = flag.Int("machines-per-rack", 16, "machines per rack")
+		slots       = flag.Int("slots", 32, "slots per machine")
+		tasksPerJob = flag.Int("tasks-per-job", 32, "tasks per submitted job")
+		interval    = flag.Duration("round-interval", time.Millisecond, "minimum gap between scheduling rounds")
+		mode        = flag.String("mode", "firmament",
+			"solver mode: firmament | relaxation | inc-cost-scaling | quincy")
+	)
+	flag.Parse()
+
+	if *perRack > *machines {
+		*perRack = *machines // small clusters: one partial rack, not a padded one
+	}
+	topo := firmament.Topology{
+		Racks:           (*machines + *perRack - 1) / *perRack,
+		MachinesPerRack: *perRack,
+		SlotsPerMachine: *slots,
+	}
+	cl := firmament.NewCluster(topo)
+
+	cfg := firmament.DefaultConfig()
+	m, ok := map[string]firmament.SolverMode{
+		"firmament":        firmament.ModeFirmament,
+		"relaxation":       firmament.ModeRelaxationOnly,
+		"inc-cost-scaling": firmament.ModeIncrementalCostScaling,
+		"quincy":           firmament.ModeQuincy,
+	}[*mode]
+	if !ok {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	cfg.Mode = m
+
+	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg,
+		firmament.ServiceConfig{RoundInterval: *interval})
+
+	fmt.Printf("cluster: %d machines in %d racks, %d slots\n",
+		cl.NumMachines(), cl.NumRacks(), cl.TotalSlots())
+	fmt.Printf("service: mode %s, %d submitters x %d tasks/job, round interval %v\n",
+		*mode, *submitters, *tasksPerJob, *interval)
+
+	// Collector: complete every task the moment it is placed (zero-length
+	// tasks — the driver measures scheduler throughput, not compute), and
+	// feed the tracker.
+	tracker := newJobTracker()
+	events, cancelWatch := svc.Watch()
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for p := range events {
+			if p.Kind != firmament.DecisionPlaced {
+				continue
+			}
+			if err := svc.Complete(p.Task); err != nil {
+				return // service closed
+			}
+			tracker.placed(p.Job, p.Task)
+		}
+	}()
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				job, err := svc.Submit(firmament.Batch, 0,
+					make([]firmament.TaskSpec, *tasksPerJob))
+				if err != nil {
+					return
+				}
+				// Watchdog: a dropped publication (slow collector) would
+				// otherwise hang the closed loop forever.
+				select {
+				case <-tracker.register(job.ID, *tasksPerJob):
+				case <-time.After(time.Minute):
+					log.Fatalf("job %d not fully placed after 1m "+
+						"(placement events dropped? see DroppedPublications)", job.ID)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := svc.Stats()
+	cancelWatch()
+	if err := svc.Close(); err != nil {
+		log.Printf("service error: %v", err)
+		defer os.Exit(1)
+	}
+	<-collectorDone
+
+	ms := func(s float64) string { return fmt.Sprintf("%.2fms", s*1000) }
+	fmt.Printf("ran %.2fs: %d placements (%.0f tasks/sec), %d rounds (%.0f/sec)\n",
+		elapsed.Seconds(), st.Placed, float64(st.Placed)/elapsed.Seconds(),
+		st.Rounds, float64(st.Rounds)/elapsed.Seconds())
+	fmt.Printf("events/round: batch mean %.1f max %.0f; backlog at round end mean %.1f\n",
+		st.BatchSize.Mean(), st.BatchSize.Max(), st.QueueDepth.Mean())
+	fmt.Printf("algorithm runtime: p50 %s p99 %s\n",
+		ms(st.AlgorithmRuntime.Percentile(50)), ms(st.AlgorithmRuntime.Percentile(99)))
+	fmt.Printf("placement latency: p50 %s p99 %s max %s\n",
+		ms(st.PlacementLatency.Percentile(50)), ms(st.PlacementLatency.Percentile(99)),
+		ms(st.PlacementLatency.Max()))
+	if st.Migrated+st.Preempted+st.Stale > 0 {
+		fmt.Printf("churn: %d migrated, %d preempted, %d stale decisions\n",
+			st.Migrated, st.Preempted, st.Stale)
+	}
+}

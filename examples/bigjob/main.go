@@ -61,15 +61,24 @@ func scheduleBigJob(n int, mode firmament.SolverMode) (time.Duration, string, er
 	})
 	preload = make([]firmament.TaskSpec, total)
 	job := cl.SubmitJob(firmament.Batch, 0, 0, preload)
-	i := 0
+	// Collect per-machine counts first: Machines holds the cluster's read
+	// lock, so the callback must not call Place.
+	type fill struct {
+		id firmament.MachineID
+		k  int
+	}
+	var fills []fill
 	cl.Machines(func(m *firmament.Machine) {
-		k := rng.Intn(m.Slots) // same sequence shape; refill independently
-		for s := 0; s < k && i < len(job.Tasks); s++ {
-			if err := cl.Place(job.Tasks[i], m.ID, 0); err == nil {
+		fills = append(fills, fill{m.ID, rng.Intn(m.Slots)}) // same sequence shape
+	})
+	i := 0
+	for _, f := range fills {
+		for s := 0; s < f.k && i < len(job.Tasks); s++ {
+			if err := cl.Place(job.Tasks[i], f.id, 0); err == nil {
 				i++
 			}
 		}
-	})
+	}
 	cl.DrainEvents() // pre-load is background state, not schedulable work
 
 	cfg := firmament.DefaultConfig()

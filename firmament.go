@@ -26,6 +26,38 @@
 // NewLoadSpreadPolicy, NewNetworkAwarePolicy), a Google-trace-shaped
 // workload generator (GenerateTrace), baseline schedulers (NewSparrow and
 // friends), and a Fauxmaster-style discrete-event simulator (Simulate).
+//
+// # Serving
+//
+// Beyond one-shot RunOnce calls, NewService starts a long-running,
+// concurrency-safe scheduling service — the continuously running deployment
+// of paper Fig. 2b. Many goroutines Submit jobs, report completions, and
+// add or remove machines; events accumulate while a solver round is in
+// flight and drain as one batch at the next round (the paper's
+// event-coalescing behavior), so bursty traffic costs one incremental graph
+// update per round. A dedicated scheduling loop paces rounds
+// (ServiceConfig.RoundInterval), publishes every enacted decision to Watch
+// subscribers, and reports queue depth, batch size, algorithm runtime and
+// placement latency percentiles through Service.Stats:
+//
+//	cl := firmament.NewCluster(firmament.Topology{Racks: 4, MachinesPerRack: 16, SlotsPerMachine: 32})
+//	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl),
+//		firmament.DefaultConfig(), firmament.ServiceConfig{})
+//	events, cancel := svc.Watch()
+//	job, _ := svc.Submit(firmament.Batch, 0, make([]firmament.TaskSpec, 16))
+//	for placed := 0; placed < len(job.Tasks); {
+//		p := <-events
+//		if p.Kind == firmament.DecisionPlaced {
+//			svc.Complete(p.Task) // closed loop: finish as soon as placed
+//			placed++
+//		}
+//	}
+//	cancel()
+//	svc.Close()
+//
+// cmd/firmament-serve is a closed-loop load driver over this API: it
+// hammers a service from N concurrent submitters and reports sustained
+// placements/sec with latency percentiles.
 package firmament
 
 import (
@@ -36,6 +68,7 @@ import (
 	"firmament/internal/core"
 	"firmament/internal/netsim"
 	"firmament/internal/policy"
+	"firmament/internal/service"
 	"firmament/internal/sim"
 	"firmament/internal/storage"
 	"firmament/internal/trace"
@@ -216,3 +249,36 @@ const (
 
 // Simulate runs a trace-driven simulation to completion.
 func Simulate(cfg SimConfig) (*SimResults, error) { return sim.Run(cfg) }
+
+// Serving layer (long-running deployment, paper Fig. 2b).
+type (
+	// SchedulerService is the long-running concurrent scheduling service
+	// (the name Service is taken by the job class).
+	SchedulerService = service.Service
+	// ServiceConfig configures round pacing and subscriber buffering.
+	ServiceConfig = service.Config
+	// Placement is one published scheduling decision.
+	Placement = service.Placement
+	// ServiceStats is a snapshot of the service's counters and
+	// distributions.
+	ServiceStats = service.Stats
+	// Decision is one enacted action of a scheduling round.
+	Decision = core.Decision
+	// DecisionKind classifies an enacted action.
+	DecisionKind = core.DecisionKind
+)
+
+// Decision kinds.
+const (
+	DecisionPlaced    = core.DecisionPlaced
+	DecisionMigrated  = core.DecisionMigrated
+	DecisionPreempted = core.DecisionPreempted
+)
+
+// NewService builds a scheduling service over cl with the given policy and
+// solver configuration and starts its scheduling loop. Submit, Complete,
+// RemoveMachine and RestoreMachine are safe from any goroutine; Watch
+// subscribes to placement decisions; Close stops the loop.
+func NewService(cl *Cluster, model CostModel, cfg Config, scfg ServiceConfig) *SchedulerService {
+	return service.New(cl, model, cfg, scfg)
+}

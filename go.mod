@@ -1,0 +1,3 @@
+module firmament
+
+go 1.22

@@ -8,10 +8,23 @@
 // flow network, and mutates state through Place/Preempt/Complete. Virtual
 // time is supplied by the caller (the simulator or a real clock); the
 // cluster never reads a wall clock.
+//
+// # Concurrency
+//
+// A Cluster is safe for concurrent use: every method that touches the job,
+// task, or machine tables or the event log takes an internal lock, so many
+// goroutines may submit jobs and log events while a scheduling round is in
+// flight (the service layer's front door). The locking guards the tables
+// themselves; the *Task, *Job and *Machine records handed out by accessors
+// are only mutated by cluster methods, so a serving deployment must confine
+// record-field reads and lifecycle mutations (Place, Preempt, Complete) to
+// one scheduling goroutine, as internal/service does. Hooks are invoked
+// after the lock is released and may call back into the cluster.
 package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -164,9 +177,11 @@ type Hooks struct {
 
 // Cluster is the authoritative cluster state.
 type Cluster struct {
-	// Hooks are invoked on state transitions when set.
+	// Hooks are invoked on state transitions when set. Set them before any
+	// concurrent use; they run outside the cluster lock.
 	Hooks Hooks
 
+	mu       sync.RWMutex
 	topo     Topology
 	machines []*Machine
 	racks    [][]MachineID
@@ -221,8 +236,12 @@ func (c *Cluster) NumRacks() int { return len(c.racks) }
 // Machine returns the machine with the given ID.
 func (c *Cluster) Machine(id MachineID) *Machine { return c.machines[id] }
 
-// Machines calls fn for every machine in ID order.
+// Machines calls fn for every machine in ID order, holding the cluster's
+// read lock: fn sees a consistent snapshot of each machine's occupancy but
+// must not call mutating cluster methods.
 func (c *Cluster) Machines(fn func(*Machine)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, m := range c.machines {
 		fn(m)
 	}
@@ -236,13 +255,24 @@ func (c *Cluster) RackMachines(r RackID) []MachineID { return c.racks[r] }
 func (c *Cluster) RackOf(id MachineID) RackID { return c.machines[id].Rack }
 
 // Task returns the task with the given ID, or nil.
-func (c *Cluster) Task(id TaskID) *Task { return c.tasks[id] }
+func (c *Cluster) Task(id TaskID) *Task {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tasks[id]
+}
 
 // Job returns the job with the given ID, or nil.
-func (c *Cluster) Job(id JobID) *Job { return c.jobs[id] }
+func (c *Cluster) Job(id JobID) *Job {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.jobs[id]
+}
 
-// Jobs calls fn for every job. Iteration order is unspecified.
+// Jobs calls fn for every job, holding the cluster's read lock; fn must not
+// call mutating cluster methods. Iteration order is unspecified.
 func (c *Cluster) Jobs(fn func(*Job)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, j := range c.jobs {
 		fn(j)
 	}
@@ -251,6 +281,8 @@ func (c *Cluster) Jobs(fn func(*Job)) {
 // PendingTasks returns the IDs of tasks waiting for placement. The order is
 // unspecified; callers needing determinism must sort.
 func (c *Cluster) PendingTasks() []TaskID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]TaskID, 0, len(c.pending))
 	for id := range c.pending {
 		out = append(out, id)
@@ -259,10 +291,20 @@ func (c *Cluster) PendingTasks() []TaskID {
 }
 
 // NumPending returns the number of tasks waiting for placement.
-func (c *Cluster) NumPending() int { return len(c.pending) }
+func (c *Cluster) NumPending() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.pending)
+}
 
 // NumRunning returns the number of running tasks.
 func (c *Cluster) NumRunning() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.numRunningLocked()
+}
+
+func (c *Cluster) numRunningLocked() int {
 	n := 0
 	for _, m := range c.machines {
 		n += len(m.running)
@@ -272,6 +314,12 @@ func (c *Cluster) NumRunning() int {
 
 // TotalSlots returns the slot count over healthy machines.
 func (c *Cluster) TotalSlots() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.totalSlotsLocked()
+}
+
+func (c *Cluster) totalSlotsLocked() int {
 	n := 0
 	for _, m := range c.machines {
 		if m.healthy {
@@ -283,17 +331,21 @@ func (c *Cluster) TotalSlots() int {
 
 // SlotUtilization returns running tasks / healthy slots.
 func (c *Cluster) SlotUtilization() float64 {
-	slots := c.TotalSlots()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slots := c.totalSlotsLocked()
 	if slots == 0 {
 		return 0
 	}
-	return float64(c.NumRunning()) / float64(slots)
+	return float64(c.numRunningLocked()) / float64(slots)
 }
 
 // SubmitJob registers a job and its tasks at the given virtual time,
 // emitting one EventTaskSubmitted per task. The specs slice supplies one
 // entry per task.
 func (c *Cluster) SubmitJob(class JobClass, priority int, now time.Duration, specs []TaskSpec) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	job := &Job{
 		ID:         c.nextJob,
 		Class:      class,
@@ -337,18 +389,23 @@ type TaskSpec struct {
 // error if the task is not pending, the machine is unhealthy, or the
 // machine has no free slot.
 func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
+	c.mu.Lock()
 	t, ok := c.tasks[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: place of unknown task %d", id)
 	}
 	if t.State != TaskPending {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: place of task %d in state %s", id, t.State)
 	}
 	mach := c.machines[m]
 	if !mach.healthy {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: place of task %d on unhealthy machine %d", id, m)
 	}
 	if len(mach.running) >= mach.Slots {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: machine %d has no free slot for task %d", m, id)
 	}
 	t.State = TaskRunning
@@ -357,6 +414,7 @@ func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
 	mach.running[id] = struct{}{}
 	mach.reserved += t.NetDemand
 	delete(c.pending, id)
+	c.mu.Unlock()
 	if c.Hooks.Placed != nil {
 		c.Hooks.Placed(t, now)
 	}
@@ -366,8 +424,10 @@ func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
 // Preempt stops a running task and returns it to the pending queue
 // (flow-based scheduling may preempt and migrate tasks, paper §2.2).
 func (c *Cluster) Preempt(id TaskID, now time.Duration) error {
+	c.mu.Lock()
 	t, ok := c.tasks[id]
 	if !ok || t.State != TaskRunning {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: preempt of task %d not running", id)
 	}
 	c.detach(t)
@@ -376,6 +436,7 @@ func (c *Cluster) Preempt(id TaskID, now time.Duration) error {
 	c.pending[id] = struct{}{}
 	c.events = append(c.events, Event{Kind: EventTaskEvicted, Task: id, Machine: t.Machine, Time: now})
 	t.Machine = InvalidMachine
+	c.mu.Unlock()
 	if c.Hooks.Preempted != nil {
 		c.Hooks.Preempted(t, now)
 	}
@@ -385,6 +446,8 @@ func (c *Cluster) Preempt(id TaskID, now time.Duration) error {
 // Complete marks a running task finished, freeing its slot and emitting
 // EventTaskCompleted.
 func (c *Cluster) Complete(id TaskID, now time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := c.tasks[id]
 	if !ok || t.State != TaskRunning {
 		return fmt.Errorf("cluster: complete of task %d not running", id)
@@ -401,16 +464,23 @@ func (c *Cluster) Complete(id TaskID, now time.Duration) error {
 }
 
 // JobDone reports whether all tasks of the job have completed.
-func (c *Cluster) JobDone(id JobID) bool { return c.jobs[id].remaining == 0 }
+func (c *Cluster) JobDone(id JobID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.jobs[id].remaining == 0
+}
 
 // RemoveMachine marks a machine unhealthy and evicts its tasks back to
 // pending, emitting EventMachineRemoved plus one EventTaskEvicted per task.
 func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
+	c.mu.Lock()
 	m := c.machines[id]
 	if !m.healthy {
+		c.mu.Unlock()
 		return
 	}
 	m.healthy = false
+	var evicted []*Task
 	for tid := range m.running {
 		t := c.tasks[tid]
 		c.detach(t)
@@ -419,15 +489,21 @@ func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
 		t.Machine = InvalidMachine
 		c.pending[tid] = struct{}{}
 		c.events = append(c.events, Event{Kind: EventTaskEvicted, Task: tid, Machine: id, Time: now})
-		if c.Hooks.Preempted != nil {
+		evicted = append(evicted, t)
+	}
+	c.events = append(c.events, Event{Kind: EventMachineRemoved, Machine: id, Time: now})
+	c.mu.Unlock()
+	if c.Hooks.Preempted != nil {
+		for _, t := range evicted {
 			c.Hooks.Preempted(t, now)
 		}
 	}
-	c.events = append(c.events, Event{Kind: EventMachineRemoved, Machine: id, Time: now})
 }
 
 // RestoreMachine returns an unhealthy machine to service.
 func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	m := c.machines[id]
 	if m.healthy {
 		return
@@ -438,11 +514,23 @@ func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
 
 // DrainEvents returns all events logged since the previous drain and clears
 // the log. Schedulers call this once per scheduling round (paper Fig. 2b:
-// "change detected" → "graph updated").
+// "change detected" → "graph updated"). Events logged by concurrent
+// submitters while a round is in flight accumulate and drain as one batch
+// at the next round — the event-coalescing behavior of the paper.
 func (c *Cluster) DrainEvents() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	ev := c.events
 	c.events = nil
 	return ev
+}
+
+// NumQueuedEvents returns the number of events accumulated since the last
+// drain (the service layer reports it as queue depth).
+func (c *Cluster) NumQueuedEvents() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.events)
 }
 
 // detach removes a task from its machine's bookkeeping.

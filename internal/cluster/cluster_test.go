@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -170,5 +172,75 @@ func TestJobDone(t *testing.T) {
 	c.Complete(job.Tasks[1], 2*time.Second)
 	if !c.JobDone(job.ID) {
 		t.Fatal("JobDone not reported")
+	}
+}
+
+// TestConcurrentSubmission hammers the cluster's front door from many
+// goroutines while a consumer drains events and reads aggregate state,
+// mirroring the serving layer's access pattern. Run under -race.
+func TestConcurrentSubmission(t *testing.T) {
+	c := New(Topology{Racks: 2, MachinesPerRack: 8, SlotsPerMachine: 4})
+	const submitters = 8
+	const jobsEach = 50
+	const tasksPerJob = 4
+
+	var wg sync.WaitGroup
+	var drained atomic.Int64
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // consumer: drain events and read state like a scheduler
+		defer wg.Done()
+		for {
+			drained.Add(int64(len(c.DrainEvents())))
+			c.NumPending()
+			c.SlotUtilization()
+			c.Machines(func(m *Machine) { m.Running() })
+			select {
+			case <-stop:
+				drained.Add(int64(len(c.DrainEvents())))
+				return
+			default:
+			}
+		}
+	}()
+
+	ids := make([][]TaskID, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < jobsEach; j++ {
+				job := c.SubmitJob(Batch, 0, time.Duration(j), make([]TaskSpec, tasksPerJob))
+				ids[i] = append(ids[i], job.Tasks...)
+			}
+		}(i)
+	}
+	// Stop the consumer only after every submission is in, so its final
+	// drain observes all events.
+	for {
+		if c.NumPending() == submitters*jobsEach*tasksPerJob {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	total := submitters * jobsEach * tasksPerJob
+	if got := int(drained.Load()); got != total {
+		t.Fatalf("drained %d events, want %d (lost or duplicated submissions)", got, total)
+	}
+	// Every task ID must be unique across submitters.
+	seen := make(map[TaskID]bool, total)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("task ID %d handed to two submitters", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("unique task IDs = %d, want %d", len(seen), total)
 	}
 }

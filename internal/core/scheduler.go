@@ -130,6 +130,38 @@ type ApplyStats struct {
 	Stale       int // decisions skipped because state moved on
 }
 
+// DecisionKind classifies one enacted scheduling action.
+type DecisionKind uint8
+
+// Decision kinds.
+const (
+	DecisionPlaced DecisionKind = iota
+	DecisionMigrated
+	DecisionPreempted
+)
+
+// String returns a short name for the kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionPlaced:
+		return "placed"
+	case DecisionMigrated:
+		return "migrated"
+	case DecisionPreempted:
+		return "preempted"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is one enacted action of a scheduling round: the serving layer
+// publishes these to placement subscribers.
+type Decision struct {
+	Task    cluster.TaskID
+	Kind    DecisionKind
+	Machine cluster.MachineID // destination for Placed/Migrated, InvalidMachine otherwise
+}
+
 // ApplyRound enacts a round's decisions against the cluster at virtual time
 // now: placements for pending tasks, migrations for running tasks mapped
 // elsewhere, and preemptions for running tasks the flow left unscheduled.
@@ -137,6 +169,13 @@ type ApplyStats struct {
 // are skipped — exactly the staleness a flow-based scheduler exhibits when
 // cluster state changes during a long solver run (paper §7.3).
 func (s *Scheduler) ApplyRound(r *Round, now time.Duration) ApplyStats {
+	return s.ApplyRoundRecorded(r, now, nil)
+}
+
+// ApplyRoundRecorded is ApplyRound with a decision callback: rec (if
+// non-nil) is invoked once per enacted action, in deterministic task-ID
+// order, before the method returns.
+func (s *Scheduler) ApplyRoundRecorded(r *Round, now time.Duration, rec func(Decision)) ApplyStats {
 	var st ApplyStats
 	// Deterministic application order.
 	ids := make([]cluster.TaskID, 0, len(s.gm.taskNode))
@@ -157,6 +196,9 @@ func (s *Scheduler) ApplyRound(r *Round, now time.Duration) ApplyStats {
 		case !mapped:
 			if err := s.cl.Preempt(id, now); err == nil {
 				st.Preempted++
+				if rec != nil {
+					rec(Decision{Task: id, Kind: DecisionPreempted, Machine: cluster.InvalidMachine})
+				}
 			} else {
 				st.Stale++
 			}
@@ -170,6 +212,9 @@ func (s *Scheduler) ApplyRound(r *Round, now time.Duration) ApplyStats {
 				continue
 			}
 			st.Migrated++
+			if rec != nil {
+				rec(Decision{Task: id, Kind: DecisionMigrated, Machine: want})
+			}
 		}
 	}
 	for _, id := range ids {
@@ -187,6 +232,9 @@ func (s *Scheduler) ApplyRound(r *Round, now time.Duration) ApplyStats {
 			continue
 		}
 		st.Placed++
+		if rec != nil {
+			rec(Decision{Task: id, Kind: DecisionPlaced, Machine: want})
+		}
 	}
 	return st
 }

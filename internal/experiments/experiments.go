@@ -201,22 +201,25 @@ func timedSolve(g *flow.Graph, solver mcmf.Solver, opts *mcmf.Options, timeout t
 // churn applies a small batch of realistic cluster changes: some task
 // completions and a few new arrivals, as between two scheduling rounds.
 func churn(cl *cluster.Cluster, store *storage.Store, rng *rand.Rand, now time.Duration, completions, arrivals int) {
-	done := 0
+	// Pick candidates while iterating, mutate afterwards: Jobs holds the
+	// cluster's read lock, so the callback must not call Complete.
+	var picks []cluster.TaskID
 	cl.Jobs(func(j *cluster.Job) {
 		if j.Class != cluster.Batch {
 			return
 		}
 		for _, id := range j.Tasks {
-			if done >= completions {
+			if len(picks) >= completions {
 				return
 			}
 			if t := cl.Task(id); t.State == cluster.TaskRunning && rng.Intn(3) == 0 {
-				if err := cl.Complete(id, now); err == nil {
-					done++
-				}
+				picks = append(picks, id)
 			}
 		}
 	})
+	for _, id := range picks {
+		_ = cl.Complete(id, now)
+	}
 	if arrivals > 0 {
 		specs := make([]cluster.TaskSpec, arrivals)
 		for i := range specs {

@@ -1,0 +1,186 @@
+package flow
+
+import (
+	"testing"
+)
+
+// FuzzGraphChanges drives the graph through an arbitrary change sequence
+// decoded from the fuzz input — node/arc adds and removes, cost and
+// capacity changes, pushes — and asserts after every mutation that the
+// structural invariants of the residual representation hold and that the
+// validate.go checks stay consistent: total imbalance always equals total
+// live supply (pushes are antisymmetric; removals take their flow with
+// them), clones are faithful, and the feasibility/optimality checkers never
+// panic or corrupt state.
+//
+// The seed corpus encodes the mutation patterns the unit tests exercise:
+// build-up then teardown, capacity shrink below flow, hub-node removal,
+// and push/cancel cycles.
+func FuzzGraphChanges(f *testing.F) {
+	// Seed corpus (op stream format: see decode below).
+	f.Add([]byte{})                                                                 // empty
+	f.Add([]byte{0, 3, 0, 2, 0, 1, 1, 0, 1, 5, 7, 1, 0, 2, 3, 0})                   // small build-up
+	f.Add([]byte{0, 1, 0, 1, 1, 0, 1, 9, 4, 6, 0, 1, 2, 2, 3, 1})                   // push after add
+	f.Add([]byte{0, 2, 0, 2, 1, 0, 1, 3, 2, 6, 0, 0, 5, 0, 1, 2, 0})                // capacity shrink below flow
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 0, 1, 4, 4, 1, 1, 2, 9, 9, 3, 0, 3, 0})       // hub removal
+	f.Add([]byte{0, 5, 0, 4, 1, 0, 1, 8, 8, 6, 0, 6, 0, 6, 0, 2, 0, 1, 0, 1, 7, 7}) // push/cancel/re-add
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := NewGraph(0, 0)
+		var nodes []NodeID
+		var arcs []ArcID // forward IDs of live arcs
+
+		next := func(i *int) byte {
+			if *i >= len(data) {
+				return 0
+			}
+			b := data[*i]
+			*i++
+			return b
+		}
+
+		checkInvariants := func(op string) {
+			if !adjacencyConsistent(g) {
+				t.Fatalf("%s: adjacency structure corrupt", op)
+			}
+			if g.NumNodes() != len(nodes) || g.NumArcs() != len(arcs) {
+				t.Fatalf("%s: live counts %d/%d, model %d/%d",
+					op, g.NumNodes(), g.NumArcs(), len(nodes), len(arcs))
+			}
+			// Total imbalance must equal total live supply: pushes move
+			// flow antisymmetrically and removed arcs take their flow with
+			// them, so conservation can only be violated locally, never in
+			// aggregate.
+			var supply, imbalance int64
+			for _, n := range nodes {
+				supply += g.Supply(n)
+			}
+			for _, e := range g.Imbalances() {
+				imbalance += e
+			}
+			if supply != imbalance {
+				t.Fatalf("%s: total imbalance %d != total supply %d", op, imbalance, supply)
+			}
+			// The validators must run without panicking on any reachable
+			// state (they may well report violations).
+			_ = g.CheckFeasible()
+			_ = g.TotalCost()
+			_ = g.TotalSupply()
+		}
+
+		maxOps := 300
+		for i := 0; i < len(data) && maxOps > 0; maxOps-- {
+			switch op := next(&i) % 8; op {
+			case 0: // add node
+				supply := int64(int8(next(&i)))
+				nodes = append(nodes, g.AddNode(supply, NodeKind(next(&i)%6)))
+				checkInvariants("AddNode")
+			case 1: // add arc
+				if len(nodes) < 2 {
+					continue
+				}
+				tail := nodes[int(next(&i))%len(nodes)]
+				head := nodes[int(next(&i))%len(nodes)]
+				if tail == head {
+					continue
+				}
+				capacity := int64(next(&i) % 16)
+				cost := int64(int8(next(&i)))
+				arcs = append(arcs, g.AddArc(tail, head, capacity, cost))
+				checkInvariants("AddArc")
+			case 2: // remove arc
+				if len(arcs) == 0 {
+					continue
+				}
+				j := int(next(&i)) % len(arcs)
+				g.RemoveArc(arcs[j])
+				arcs = append(arcs[:j], arcs[j+1:]...)
+				checkInvariants("RemoveArc")
+			case 3: // remove node (and its incident arcs)
+				if len(nodes) == 0 {
+					continue
+				}
+				j := int(next(&i)) % len(nodes)
+				n := nodes[j]
+				nodes = append(nodes[:j], nodes[j+1:]...)
+				kept := arcs[:0]
+				for _, a := range arcs {
+					if g.Tail(a) != n && g.Head(a) != n {
+						kept = append(kept, a)
+					}
+				}
+				arcs = kept
+				g.RemoveNode(n)
+				checkInvariants("RemoveNode")
+			case 4: // change arc cost (forward or reverse ID)
+				if len(arcs) == 0 {
+					continue
+				}
+				a := arcs[int(next(&i))%len(arcs)]
+				if next(&i)%2 == 1 {
+					a = g.Reverse(a)
+				}
+				g.SetArcCost(a, int64(int8(next(&i))))
+				checkInvariants("SetArcCost")
+			case 5: // change arc capacity (may strand flow: local imbalance)
+				if len(arcs) == 0 {
+					continue
+				}
+				a := arcs[int(next(&i))%len(arcs)]
+				g.SetArcCapacity(a, int64(next(&i)%16))
+				if f := g.Flow(a); f < 0 || f > g.Capacity(a) {
+					t.Fatalf("SetArcCapacity left flow %d outside [0, %d]", f, g.Capacity(a))
+				}
+				checkInvariants("SetArcCapacity")
+			case 6: // push within residual capacity
+				if len(arcs) == 0 {
+					continue
+				}
+				a := arcs[int(next(&i))%len(arcs)]
+				if next(&i)%2 == 1 {
+					a = g.Reverse(a)
+				}
+				if r := g.Resid(a); r > 0 {
+					g.Push(a, 1+int64(next(&i))%r)
+				}
+				checkInvariants("Push")
+			case 7: // change supply
+				if len(nodes) == 0 {
+					continue
+				}
+				g.SetSupply(nodes[int(next(&i))%len(nodes)], int64(int8(next(&i))))
+				checkInvariants("SetSupply")
+			}
+		}
+
+		// Clone fidelity on the final state: structure, cost and imbalance
+		// profile all survive a deep copy and a CloneInto reuse cycle.
+		c := g.Clone()
+		if !adjacencyConsistent(c) {
+			t.Fatal("clone has corrupt adjacency structure")
+		}
+		if c.TotalCost() != g.TotalCost() || c.NumNodes() != g.NumNodes() || c.NumArcs() != g.NumArcs() {
+			t.Fatal("clone diverges from original")
+		}
+		gi, ci := g.Imbalances(), c.Imbalances()
+		for i := range gi {
+			if gi[i] != ci[i] {
+				t.Fatalf("clone imbalance at node %d: %d != %d", i, ci[i], gi[i])
+			}
+		}
+		if err := c.CopyFlowAndPotentialsFrom(g); err != nil {
+			t.Fatalf("CopyFlowAndPotentialsFrom identical-topology clone: %v", err)
+		}
+		// ResetFlow must restore every imbalance to the node's supply.
+		c.ResetFlow()
+		for i, e := range c.Imbalances() {
+			want := int64(0)
+			if c.NodeInUse(NodeID(i)) {
+				want = c.Supply(NodeID(i))
+			}
+			if e != want {
+				t.Fatalf("after ResetFlow, node %d imbalance %d != supply %d", i, e, want)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -136,5 +137,46 @@ func TestSparkline(t *testing.T) {
 	var empty Dist
 	if empty.Sparkline(8) != "" {
 		t.Fatal("empty sparkline should be empty string")
+	}
+}
+
+func TestDistClone(t *testing.T) {
+	var d Dist
+	d.Add(1)
+	d.Add(2)
+	c := d.Clone()
+	c.Add(99)
+	if d.N() != 2 || c.N() != 3 {
+		t.Fatalf("clone not independent: %d/%d samples", d.N(), c.N())
+	}
+	if c.Max() != 99 || d.Max() != 2 {
+		t.Fatalf("clone values wrong: max %v/%v", c.Max(), d.Max())
+	}
+}
+
+func TestSyncDistConcurrentAdd(t *testing.T) {
+	var sd SyncDist
+	const workers = 8
+	const each = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sd.Add(float64(i))
+				if i%100 == 0 {
+					sd.Snapshot().Median() // readers interleave with writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sd.N() != workers*each {
+		t.Fatalf("N = %d, want %d", sd.N(), workers*each)
+	}
+	snap := sd.Snapshot()
+	if snap.Min() != 0 || snap.Max() != each-1 {
+		t.Fatalf("snapshot range [%v, %v], want [0, %d]", snap.Min(), snap.Max(), each-1)
 	}
 }

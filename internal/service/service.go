@@ -1,0 +1,493 @@
+// Package service is Firmament's long-running serving layer: a
+// concurrency-safe scheduling service that wraps the one-shot core.Scheduler
+// into the continuously running deployment of the paper (Fig. 2b).
+//
+// Many goroutines submit jobs, report task completions, and add or remove
+// machines through the service's front door. Mutations that must be enacted
+// by the scheduling loop (completions, machine changes) pass through a
+// batched ingestion queue: they accumulate while a solver round is in
+// flight and drain in one batch at the next round start, so an arbitrarily
+// bursty event stream coalesces into one incremental graph update per round
+// — the paper's event-coalescing behavior. Job submissions take the fast
+// path straight into the cluster tables (cluster.Cluster is safe for
+// concurrent submission) and surface to the scheduler through the cluster's
+// event log, which the next round drains as a single ApplyEvents batch.
+//
+// A dedicated scheduling loop runs the speculative solver pool with
+// configurable round pacing, publishes every enacted decision to Watch
+// subscribers, and accumulates per-round metrics (queue depth, batch size,
+// algorithm runtime, placement latency percentiles) via internal/metrics.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/metrics"
+	"firmament/internal/policy"
+)
+
+// ErrClosed is returned by front-door methods after Close (or after the
+// scheduling loop has died on a solver error).
+var ErrClosed = errors.New("service: scheduler service is closed")
+
+// Config configures the serving layer (the solver configuration lives in
+// core.Config).
+type Config struct {
+	// RoundInterval is the minimum gap between scheduling round starts
+	// (round pacing). Shorter intervals reduce placement latency; longer
+	// intervals batch more events per round. Default 1ms.
+	RoundInterval time.Duration
+	// IdleInterval caps the exponential backoff between rounds that make
+	// no progress: when tasks stay pending but no events arrive, the loop
+	// keeps re-solving (wait costs grow with time, so decisions can still
+	// change — the paper's continuous rescheduling) but decays from
+	// RoundInterval toward this ceiling instead of burning a core on
+	// identical solves. Default 100ms.
+	IdleInterval time.Duration
+	// SubscriberBuffer is the per-subscriber channel capacity. A
+	// subscriber that falls more than a full buffer behind loses events
+	// (counted in Stats.DroppedPublications). Default 65536.
+	SubscriberBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RoundInterval <= 0 {
+		c.RoundInterval = time.Millisecond
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 65536
+	}
+	if c.IdleInterval <= 0 {
+		c.IdleInterval = 100 * time.Millisecond
+	}
+	if c.IdleInterval < c.RoundInterval {
+		c.IdleInterval = c.RoundInterval
+	}
+	return c
+}
+
+// Placement is one enacted scheduling decision, published to Watch
+// subscribers after the round that enacted it.
+type Placement struct {
+	Task    cluster.TaskID
+	Job     cluster.JobID
+	Kind    core.DecisionKind
+	Machine cluster.MachineID // destination for Placed/Migrated
+	Round   uint64
+	// Latency is submission → placement for DecisionPlaced events (zero
+	// for migrations and preemptions).
+	Latency time.Duration
+}
+
+// opKind classifies a queued ingestion operation.
+type opKind uint8
+
+const (
+	opComplete opKind = iota
+	opRemoveMachine
+	opRestoreMachine
+)
+
+// op is one queued front-door mutation awaiting the next round.
+type op struct {
+	kind    opKind
+	task    cluster.TaskID
+	machine cluster.MachineID
+}
+
+// Service is a long-running, concurrency-safe scheduling service.
+type Service struct {
+	cl    *cluster.Cluster
+	sched *core.Scheduler
+	cfg   Config
+	start time.Time
+
+	// Batched ingestion queue: swap-drained by the loop in one batch.
+	opMu    sync.Mutex
+	ops     []op
+	opSpare []op // drained buffer recycled to avoid per-round allocation
+
+	kick chan struct{} // wakes the loop; capacity 1, sends never block
+
+	subMu   sync.Mutex
+	subs    map[int]chan Placement
+	nextSub int
+
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+	closed   atomic.Bool
+
+	runErrMu sync.Mutex
+	runErr   error
+
+	// Counters (atomics: read by Stats from any goroutine).
+	rounds      atomic.Int64
+	submitted   atomic.Int64
+	placed      atomic.Int64
+	migrated    atomic.Int64
+	preempted   atomic.Int64
+	completed   atomic.Int64
+	stale       atomic.Int64
+	unscheduled atomic.Int64
+	dropped     atomic.Int64
+
+	queueDepth       metrics.SyncDist
+	batchSize        metrics.SyncDist
+	algoRuntime      metrics.SyncDist
+	roundTime        metrics.SyncDist
+	placementLatency metrics.SyncDist
+}
+
+// New builds a scheduling service over cl with the given policy and solver
+// configuration and starts its scheduling loop. Call Close to stop it.
+func New(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg Config) *Service {
+	s := &Service{
+		cl:     cl,
+		sched:  core.NewScheduler(cl, model, schedCfg),
+		cfg:    cfg.withDefaults(),
+		start:  time.Now(),
+		kick:   make(chan struct{}, 1),
+		subs:   make(map[int]chan Placement),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Scheduler exposes the wrapped scheduler (experiments tune its pool).
+// Touch it only before submitting work or after Close.
+func (s *Service) Scheduler() *core.Scheduler { return s.sched }
+
+// now is the service's virtual clock: time since construction. The cluster
+// never reads a wall clock, so the service feeds it this monotonic offset.
+func (s *Service) now() time.Duration { return time.Since(s.start) }
+
+// Submit registers a job with one task per spec and wakes the scheduling
+// loop. It is safe to call from any goroutine; the returned job's ID and
+// task IDs are immediately valid, while placement happens asynchronously
+// (watch for Placement events). The job's submission events coalesce with
+// all others that arrive before the next round.
+func (s *Service) Submit(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	job := s.cl.SubmitJob(class, priority, s.now(), specs)
+	s.submitted.Add(int64(len(specs)))
+	s.wake()
+	return job, nil
+}
+
+// Complete reports that a running task finished. The completion is queued
+// and enacted at the next round start.
+func (s *Service) Complete(id cluster.TaskID) error {
+	return s.enqueue(op{kind: opComplete, task: id})
+}
+
+// RemoveMachine queues a machine failure: at the next round start the
+// machine's tasks are evicted back to pending and its slots leave the flow
+// network.
+func (s *Service) RemoveMachine(id cluster.MachineID) error {
+	if id < 0 || int(id) >= s.cl.NumMachines() {
+		return fmt.Errorf("service: unknown machine %d", id)
+	}
+	return s.enqueue(op{kind: opRemoveMachine, machine: id})
+}
+
+// RestoreMachine queues the return of a failed machine.
+func (s *Service) RestoreMachine(id cluster.MachineID) error {
+	if id < 0 || int(id) >= s.cl.NumMachines() {
+		return fmt.Errorf("service: unknown machine %d", id)
+	}
+	return s.enqueue(op{kind: opRestoreMachine, machine: id})
+}
+
+func (s *Service) enqueue(o op) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.opMu.Lock()
+	s.ops = append(s.ops, o)
+	s.opMu.Unlock()
+	s.wake()
+	return nil
+}
+
+// wake nudges the scheduling loop without blocking.
+func (s *Service) wake() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Watch subscribes to placement decisions. Every subscriber receives every
+// Placement published after the call. The returned cancel function
+// unsubscribes and closes the channel; Close also closes it.
+func (s *Service) Watch() (<-chan Placement, func()) {
+	ch := make(chan Placement, s.cfg.SubscriberBuffer)
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	if s.closed.Load() && s.subs == nil {
+		// Closed and channels already torn down: hand back a closed chan.
+		s.subMu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			if _, ok := s.subs[id]; ok {
+				delete(s.subs, id)
+				close(ch)
+			}
+			s.subMu.Unlock()
+		})
+	}
+}
+
+// Close stops the scheduling loop, waits for the in-flight round to finish,
+// and closes all subscriber channels. It returns the loop's fatal error, if
+// any. Close is idempotent.
+func (s *Service) Close() error {
+	s.stopOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.stopCh)
+	})
+	<-s.doneCh
+	s.subMu.Lock()
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.subs = nil
+	s.subMu.Unlock()
+	s.runErrMu.Lock()
+	defer s.runErrMu.Unlock()
+	return s.runErr
+}
+
+// Err returns the scheduling loop's fatal error, if it has died.
+func (s *Service) Err() error {
+	s.runErrMu.Lock()
+	defer s.runErrMu.Unlock()
+	return s.runErr
+}
+
+// loop is the dedicated scheduling goroutine: wait for work, pace rounds,
+// schedule, apply, publish.
+func (s *Service) loop() {
+	defer close(s.doneCh)
+	var lastRound time.Time
+	idleRounds := 0
+	pacing := time.NewTimer(0)
+	if !pacing.Stop() {
+		<-pacing.C
+	}
+	for {
+		// Wait for work (or shutdown).
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.kick:
+		}
+		// Round pacing: at most one round start per RoundInterval.
+		if wait := s.cfg.RoundInterval - time.Since(lastRound); wait > 0 {
+			pacing.Reset(wait)
+			select {
+			case <-s.stopCh:
+				pacing.Stop()
+				return
+			case <-pacing.C:
+			}
+		}
+		lastRound = time.Now()
+		progress, err := s.runRound()
+		if err != nil {
+			s.runErrMu.Lock()
+			s.runErr = fmt.Errorf("service: scheduling round %d: %w", s.rounds.Load(), err)
+			s.runErrMu.Unlock()
+			s.closed.Store(true)
+			return
+		}
+		// More work already waiting (ops queued, events logged, or tasks
+		// still pending placement): keep going, pacing bounds the rate.
+		// Rounds that neither folded in events nor enacted decisions back
+		// off exponentially toward IdleInterval — tasks stuck pending on a
+		// saturated cluster still get re-evaluated as their wait costs
+		// grow, without a core-burning solve every RoundInterval. A new
+		// front-door event kicks the loop immediately regardless.
+		if s.pendingWork() {
+			if progress {
+				idleRounds = 0
+				s.wake()
+			} else {
+				idleRounds++
+				delay := s.cfg.RoundInterval << min(idleRounds, 16)
+				if delay > s.cfg.IdleInterval || delay <= 0 {
+					delay = s.cfg.IdleInterval
+				}
+				time.AfterFunc(delay, s.wake)
+			}
+		} else {
+			idleRounds = 0
+		}
+	}
+}
+
+// pendingWork reports whether another round would have anything to do.
+func (s *Service) pendingWork() bool {
+	s.opMu.Lock()
+	queued := len(s.ops)
+	s.opMu.Unlock()
+	return queued > 0 || s.cl.NumQueuedEvents() > 0 || s.cl.NumPending() > 0
+}
+
+// runRound drains the ingestion queue, runs one scheduling computation, and
+// applies and publishes its decisions. It reports whether the round made
+// progress (folded in events or enacted decisions).
+func (s *Service) runRound() (progress bool, err error) {
+	t0 := time.Now()
+	round := uint64(s.rounds.Add(1))
+
+	// Drain the batched ingestion queue in one swap.
+	s.opMu.Lock()
+	batch := s.ops
+	s.ops = s.opSpare[:0]
+	s.opMu.Unlock()
+	now := s.now()
+	for _, o := range batch {
+		switch o.kind {
+		case opComplete:
+			// A completion can race a preemption the previous round
+			// enacted (the task went back to pending); such completions
+			// are stale, like any decision against moved-on state.
+			if err := s.cl.Complete(o.task, now); err != nil {
+				s.stale.Add(1)
+			} else {
+				s.completed.Add(1)
+			}
+		case opRemoveMachine:
+			s.cl.RemoveMachine(o.machine, now)
+		case opRestoreMachine:
+			s.cl.RestoreMachine(o.machine, now)
+		}
+	}
+	s.opSpare = batch
+
+	// Batch size: cluster events this round's graph update will fold in
+	// (submissions logged since the last round plus the ops just applied).
+	batchEvents := s.cl.NumQueuedEvents()
+	s.batchSize.Add(float64(batchEvents))
+
+	r, err := s.sched.Schedule(now)
+	if err != nil {
+		return false, err
+	}
+
+	applyNow := s.now()
+	decisions := make([]Placement, 0, len(r.Mappings))
+	ap := s.sched.ApplyRoundRecorded(r, applyNow, func(d core.Decision) {
+		p := Placement{Task: d.Task, Kind: d.Kind, Machine: d.Machine, Round: round}
+		if t := s.cl.Task(d.Task); t != nil {
+			p.Job = t.Job
+			if d.Kind == core.DecisionPlaced {
+				p.Latency = applyNow - t.SubmitTime
+				s.placementLatency.AddDuration(p.Latency)
+			}
+		}
+		decisions = append(decisions, p)
+	})
+
+	s.placed.Add(int64(ap.Placed))
+	s.migrated.Add(int64(ap.Migrated))
+	s.preempted.Add(int64(ap.Preempted))
+	s.stale.Add(int64(ap.Stale))
+	s.unscheduled.Add(int64(ap.Unscheduled))
+	s.algoRuntime.AddDuration(r.Stats.AlgorithmRuntime())
+
+	s.publish(decisions)
+
+	// Queue depth: events that accumulated while this round was in flight.
+	s.queueDepth.Add(float64(s.cl.NumQueuedEvents()))
+	s.roundTime.AddDuration(time.Since(t0))
+	return batchEvents > 0 || len(decisions) > 0, nil
+}
+
+// publish fans a round's decisions out to all subscribers. Slow subscribers
+// lose events rather than stall the scheduling loop.
+func (s *Service) publish(decisions []Placement) {
+	if len(decisions) == 0 {
+		return
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, ch := range s.subs {
+		for _, p := range decisions {
+			select {
+			case ch <- p:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the service's counters and
+// distributions.
+type Stats struct {
+	Rounds      int64
+	Submitted   int64
+	Placed      int64
+	Migrated    int64
+	Preempted   int64
+	Completed   int64
+	Stale       int64
+	Unscheduled int64 // per-round sum of tasks left waiting
+	// DroppedPublications counts placement events lost to slow
+	// subscribers.
+	DroppedPublications int64
+
+	// QueueDepth samples the cluster event backlog at each round end;
+	// BatchSize the events folded into each round's graph update.
+	QueueDepth *metrics.Dist
+	BatchSize  *metrics.Dist
+	// AlgorithmRuntime is the winning solver's runtime per round.
+	AlgorithmRuntime *metrics.Dist
+	// RoundTime is the full round wall time (drain + update + solve +
+	// extract + apply + publish).
+	RoundTime *metrics.Dist
+	// PlacementLatency is submission → placement per task.
+	PlacementLatency *metrics.Dist
+}
+
+// Stats returns a consistent snapshot; safe to call from any goroutine.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Rounds:              s.rounds.Load(),
+		Submitted:           s.submitted.Load(),
+		Placed:              s.placed.Load(),
+		Migrated:            s.migrated.Load(),
+		Preempted:           s.preempted.Load(),
+		Completed:           s.completed.Load(),
+		Stale:               s.stale.Load(),
+		Unscheduled:         s.unscheduled.Load(),
+		DroppedPublications: s.dropped.Load(),
+		QueueDepth:          s.queueDepth.Snapshot(),
+		BatchSize:           s.batchSize.Snapshot(),
+		AlgorithmRuntime:    s.algoRuntime.Snapshot(),
+		RoundTime:           s.roundTime.Snapshot(),
+		PlacementLatency:    s.placementLatency.Snapshot(),
+	}
+}

@@ -1,0 +1,289 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/policy"
+)
+
+func newTestService(t *testing.T, topo cluster.Topology, cfg Config) (*Service, *cluster.Cluster) {
+	t.Helper()
+	if cfg.RoundInterval == 0 {
+		cfg.RoundInterval = 200 * time.Microsecond
+	}
+	cl := cluster.New(topo)
+	svc := New(cl, policy.NewLoadSpread(cl), core.DefaultConfig(), cfg)
+	t.Cleanup(func() { svc.Close() })
+	return svc, cl
+}
+
+// drainUntil receives from events until pred returns true or the deadline
+// passes.
+func drainUntil(t *testing.T, events <-chan Placement, d time.Duration, pred func(Placement) bool) {
+	t.Helper()
+	deadline := time.After(d)
+	for {
+		select {
+		case p, ok := <-events:
+			if !ok {
+				t.Fatal("placement channel closed early")
+			}
+			if pred(p) {
+				return
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for placements")
+		}
+	}
+}
+
+func TestServicePlacesSubmittedJob(t *testing.T) {
+	svc, _ := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 4, SlotsPerMachine: 4}, Config{})
+	events, cancel := svc.Watch()
+	defer cancel()
+
+	const tasks = 8
+	job, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, tasks))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	placed := make(map[cluster.TaskID]bool)
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind != core.DecisionPlaced {
+			return false
+		}
+		if p.Job != job.ID {
+			t.Fatalf("placement for unknown job %d", p.Job)
+		}
+		if p.Latency <= 0 {
+			t.Fatalf("placement latency %v not positive", p.Latency)
+		}
+		placed[p.Task] = true
+		return len(placed) == tasks
+	})
+
+	st := svc.Stats()
+	if st.Placed != tasks || st.Submitted != tasks {
+		t.Fatalf("stats: placed %d submitted %d, want %d", st.Placed, st.Submitted, tasks)
+	}
+	if st.Rounds == 0 || st.PlacementLatency.N() != tasks {
+		t.Fatalf("stats: rounds %d latency samples %d", st.Rounds, st.PlacementLatency.N())
+	}
+}
+
+// TestConcurrentSubmitters is the serving-layer stress test: N goroutines
+// submit and complete jobs in a closed loop while the scheduling loop runs.
+// No submission may be lost, no task may be placed twice without an
+// intervening eviction, and shutdown must be clean. Run under -race.
+func TestConcurrentSubmitters(t *testing.T) {
+	const (
+		submitters  = 8
+		jobsEach    = 5
+		tasksPerJob = 20
+		total       = submitters * jobsEach * tasksPerJob
+	)
+	svc, cl := newTestService(t,
+		cluster.Topology{Racks: 4, MachinesPerRack: 16, SlotsPerMachine: 4}, Config{})
+
+	// A dedicated accountant subscriber records every task's lifecycle
+	// until Close tears its channel down.
+	placedCount := make(map[cluster.TaskID]int)
+	evictedCount := make(map[cluster.TaskID]int)
+	acctEvents, acctCancel := svc.Watch()
+	defer acctCancel()
+	acctDone := make(chan struct{})
+	go func() {
+		defer close(acctDone)
+		for p := range acctEvents {
+			switch p.Kind {
+			case core.DecisionPlaced:
+				placedCount[p.Task]++
+			case core.DecisionPreempted:
+				evictedCount[p.Task]++
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			events, cancel := svc.Watch()
+			defer cancel()
+			for j := 0; j < jobsEach; j++ {
+				job, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, tasksPerJob))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mine := make(map[cluster.TaskID]bool, tasksPerJob)
+				for _, id := range job.Tasks {
+					mine[id] = true
+				}
+				done := make(map[cluster.TaskID]bool, tasksPerJob)
+				deadline := time.After(30 * time.Second)
+				for len(done) < tasksPerJob {
+					select {
+					case p, ok := <-events:
+						if !ok {
+							errCh <- errors.New("watch channel closed mid-run")
+							return
+						}
+						if !mine[p.Task] || p.Kind != core.DecisionPlaced {
+							continue
+						}
+						// Closed loop: complete as soon as placed (repeat
+						// placements after a preemption are re-completed).
+						if err := svc.Complete(p.Task); err != nil {
+							errCh <- err
+							return
+						}
+						done[p.Task] = true
+					case <-deadline:
+						errCh <- errors.New("submitter timed out waiting for placements")
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Wait for the queued completions to be enacted.
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for svc.Stats().Completed < total {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("completed %d of %d tasks before timeout", svc.Stats().Completed, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	<-acctDone // accountant drains its channel until Close closes it
+
+	st := svc.Stats()
+	if st.Submitted != total {
+		t.Fatalf("submitted %d, want %d", st.Submitted, total)
+	}
+	if st.Completed != total {
+		t.Fatalf("completed %d, want %d", st.Completed, total)
+	}
+	if st.DroppedPublications != 0 {
+		t.Fatalf("%d placement events dropped (buffer too small for test load)", st.DroppedPublications)
+	}
+	// No lost events: every submitted task was placed at least once, and
+	// no task was placed twice without an intervening eviction.
+	if len(placedCount) != total {
+		t.Fatalf("accountant saw %d distinct tasks placed, want %d", len(placedCount), total)
+	}
+	for id, n := range placedCount {
+		if n != 1+evictedCount[id] {
+			t.Fatalf("task %d placed %d times with %d evictions (double placement)",
+				id, n, evictedCount[id])
+		}
+	}
+	// The cluster must agree: everything completed, nothing left running
+	// or pending. (The loop is stopped; direct field reads are safe.)
+	if cl.NumPending() != 0 || cl.NumRunning() != 0 {
+		t.Fatalf("cluster left with %d pending, %d running", cl.NumPending(), cl.NumRunning())
+	}
+}
+
+func TestServiceMachineRemoval(t *testing.T) {
+	svc, cl := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 3, SlotsPerMachine: 2}, Config{})
+	events, cancel := svc.Watch()
+	defer cancel()
+
+	const tasks = 4
+	job, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, tasks))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	_ = job
+	placedOn := make(map[cluster.TaskID]cluster.MachineID)
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced {
+			placedOn[p.Task] = p.Machine
+		}
+		return len(placedOn) == tasks
+	})
+
+	// An out-of-range machine must be rejected at the front door, not
+	// panic the scheduling loop.
+	if err := svc.RemoveMachine(999); err == nil {
+		t.Fatal("RemoveMachine(999) accepted an unknown machine")
+	}
+	if err := svc.RestoreMachine(-1); err == nil {
+		t.Fatal("RestoreMachine(-1) accepted an unknown machine")
+	}
+
+	// Fail a machine that is running at least one task.
+	var victim cluster.MachineID = -1
+	for _, m := range placedOn {
+		victim = m
+		break
+	}
+	if err := svc.RemoveMachine(victim); err != nil {
+		t.Fatalf("RemoveMachine: %v", err)
+	}
+	// Every task that was on the victim must be re-placed elsewhere.
+	wantReplaced := make(map[cluster.TaskID]bool)
+	for id, m := range placedOn {
+		if m == victim {
+			wantReplaced[id] = true
+		}
+	}
+	if len(wantReplaced) == 0 {
+		t.Fatal("victim machine ran no tasks")
+	}
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced && wantReplaced[p.Task] {
+			if p.Machine == victim {
+				t.Fatalf("task %d re-placed on removed machine %d", p.Task, victim)
+			}
+			delete(wantReplaced, p.Task)
+		}
+		return len(wantReplaced) == 0
+	})
+	_ = cl
+}
+
+func TestServiceCloseSemantics(t *testing.T) {
+	svc, _ := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 2}, Config{})
+	events, cancel := svc.Watch()
+	defer cancel()
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := svc.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if err := svc.Complete(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Complete after Close: err = %v, want ErrClosed", err)
+	}
+	select {
+	case _, ok := <-events:
+		if ok {
+			t.Fatal("unexpected placement after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch channel not closed by Close")
+	}
+}
