@@ -7,7 +7,9 @@
 package firmament
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"firmament/internal/flow"
 	"firmament/internal/mcmf"
 	"firmament/internal/policy"
+	"firmament/internal/service"
 	"firmament/internal/sim"
 	"firmament/internal/storage"
 	"firmament/internal/trace"
@@ -435,6 +438,45 @@ func BenchmarkExtraction(b *testing.B) {
 		if len(m) == 0 {
 			b.Fatal("no placements extracted")
 		}
+	}
+}
+
+// BenchmarkServiceSubmitContention measures aggregate front-door submit
+// throughput as the submitter count grows. Before the sharded front door,
+// every submission serialized on one cluster-wide mutex and aggregate
+// throughput collapsed past ~16 submitters; with per-shard locks the
+// aggregate figure should hold (or grow) from 1 through 32 submitters.
+// The scheduling loop runs concurrently on a long round interval — its
+// solve happens under no cluster lock, so it does not gate the submitters
+// being measured.
+func BenchmarkServiceSubmitContention(b *testing.B) {
+	for _, submitters := range []int{1, 4, 16, 32} {
+		b.Run(fmt.Sprintf("submitters-%d", submitters), func(b *testing.B) {
+			cl := cluster.New(cluster.Topology{Racks: 8, MachinesPerRack: 16, SlotsPerMachine: 64})
+			svc := service.New(cl, policy.NewLoadSpread(cl), core.DefaultConfig(),
+				service.Config{RoundInterval: 100 * time.Millisecond})
+			defer svc.Close()
+			specs := make([]cluster.TaskSpec, 1)
+			var issued atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < submitters; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for issued.Add(1) <= int64(b.N) {
+						if _, err := svc.Submit(cluster.Batch, 0, specs); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submits/s")
+		})
 	}
 }
 

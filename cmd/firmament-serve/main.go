@@ -1,13 +1,19 @@
 // firmament-serve is a closed-loop load driver for the long-running
 // scheduling service: N concurrent submitters hammer the service's front
 // door, completing every task the moment it is placed, and the driver
-// reports the sustained placement throughput and latency percentiles the
-// service achieved.
+// reports the sustained placement throughput — aggregate and per submitter
+// — with latency percentiles. With the sharded front door, throughput
+// should hold as -submitters grows past 16 (the old single-lock collapse
+// point); the CI contention smoke runs `-submitters 32 -duration 2s` and
+// fails on a zero-placement or backlogged-deadlock outcome (the driver
+// exits non-zero on either).
 //
 // Usage:
 //
 //	firmament-serve -submitters 8 -duration 5s
+//	firmament-serve -submitters 32 -duration 2s          # scaling mode: per-submitter rates
 //	firmament-serve -machines 256 -slots 16 -tasks-per-job 64 -mode relaxation
+//	firmament-serve -max-pending-factor 4                # backpressure: SubmitWait past 4x slots
 package main
 
 import (
@@ -90,7 +96,10 @@ func main() {
 		slots       = flag.Int("slots", 32, "slots per machine")
 		tasksPerJob = flag.Int("tasks-per-job", 32, "tasks per submitted job")
 		interval    = flag.Duration("round-interval", time.Millisecond, "minimum gap between scheduling rounds")
-		mode        = flag.String("mode", "firmament",
+		pendingFac  = flag.Float64("max-pending-factor", 0,
+			"backpressure: block submission once pending > factor x slots (0 disables)")
+		perSub = flag.Bool("per-submitter", true, "print per-submitter throughput")
+		mode   = flag.String("mode", "firmament",
 			"solver mode: firmament | relaxation | inc-cost-scaling | quincy")
 	)
 	flag.Parse()
@@ -118,12 +127,12 @@ func main() {
 	cfg.Mode = m
 
 	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg,
-		firmament.ServiceConfig{RoundInterval: *interval})
+		firmament.ServiceConfig{RoundInterval: *interval, MaxPendingFactor: *pendingFac})
 
-	fmt.Printf("cluster: %d machines in %d racks, %d slots\n",
-		cl.NumMachines(), cl.NumRacks(), cl.TotalSlots())
-	fmt.Printf("service: mode %s, %d submitters x %d tasks/job, round interval %v\n",
-		*mode, *submitters, *tasksPerJob, *interval)
+	fmt.Printf("cluster: %d machines in %d racks, %d slots, %d front-door shards\n",
+		cl.NumMachines(), cl.NumRacks(), cl.TotalSlots(), cl.NumShards())
+	fmt.Printf("service: mode %s, %d submitters x %d tasks/job, round interval %v, max-pending-factor %g\n",
+		*mode, *submitters, *tasksPerJob, *interval, *pendingFac)
 
 	// Collector: complete every task the moment it is placed (zero-length
 	// tasks — the driver measures scheduler throughput, not compute), and
@@ -144,15 +153,23 @@ func main() {
 		}
 	}()
 
+	// Submit through SubmitWait when backpressure is on (the closed loop
+	// should park, not shed); plain Submit otherwise.
+	submit := svc.Submit
+	if *pendingFac > 0 {
+		submit = svc.SubmitWait
+	}
+
 	start := time.Now()
 	deadline := start.Add(*duration)
+	jobsDone := make([]int, *submitters) // per-submitter fully placed jobs
 	var wg sync.WaitGroup
 	for i := 0; i < *submitters; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				job, err := svc.Submit(firmament.Batch, 0,
+				job, err := submit(firmament.Batch, 0,
 					make([]firmament.TaskSpec, *tasksPerJob))
 				if err != nil {
 					return
@@ -161,12 +178,13 @@ func main() {
 				// otherwise hang the closed loop forever.
 				select {
 				case <-tracker.register(job.ID, *tasksPerJob):
+					jobsDone[i]++
 				case <-time.After(time.Minute):
 					log.Fatalf("job %d not fully placed after 1m "+
 						"(placement events dropped? see DroppedPublications)", job.ID)
 				}
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -190,8 +208,25 @@ func main() {
 	fmt.Printf("placement latency: p50 %s p99 %s max %s\n",
 		ms(st.PlacementLatency.Percentile(50)), ms(st.PlacementLatency.Percentile(99)),
 		ms(st.PlacementLatency.Max()))
-	if st.Migrated+st.Preempted+st.Stale > 0 {
-		fmt.Printf("churn: %d migrated, %d preempted, %d stale decisions\n",
-			st.Migrated, st.Preempted, st.Stale)
+	if st.Backlogged > 0 {
+		fmt.Printf("backpressure: %d submissions refused or delayed\n", st.Backlogged)
+	}
+	if st.Migrated+st.Preempted+st.Stale() > 0 {
+		fmt.Printf("churn: %d migrated, %d preempted, %d stale completions, %d stale decisions\n",
+			st.Migrated, st.Preempted, st.StaleCompletions, st.StaleDecisions)
+	}
+	if *perSub {
+		for i, n := range jobsDone {
+			tasks := n * *tasksPerJob
+			fmt.Printf("  submitter %2d: %6d jobs %8d tasks (%.0f tasks/sec)\n",
+				i, n, tasks, float64(tasks)/elapsed.Seconds())
+		}
+	}
+	// A load driver that placed nothing despite having submitters is a
+	// failure, not a quiet run — the CI contention smoke relies on this
+	// exit code. (-submitters 0 remains a clean zero-run.)
+	if *submitters > 0 && st.Placed == 0 {
+		log.Printf("FAIL: zero placements in %.2fs", elapsed.Seconds())
+		os.Exit(1)
 	}
 }

@@ -32,13 +32,22 @@
 // Beyond one-shot RunOnce calls, NewService starts a long-running,
 // concurrency-safe scheduling service — the continuously running deployment
 // of paper Fig. 2b. Many goroutines Submit jobs, report completions, and
-// add or remove machines; events accumulate while a solver round is in
-// flight and drain as one batch at the next round (the paper's
+// add or remove machines through a sharded front door: the cluster's
+// job/task tables and event log are split into power-of-two shards keyed
+// by job ID, so submitters on different shards never contend, and
+// completions queue on per-shard ingestion queues the round start drains
+// with one buffer swap per shard. Events accumulate while a solver round
+// is in flight and drain as one batch at the next round (the paper's
 // event-coalescing behavior), so bursty traffic costs one incremental graph
-// update per round. A dedicated scheduling loop paces rounds
-// (ServiceConfig.RoundInterval), publishes every enacted decision to Watch
-// subscribers, and reports queue depth, batch size, algorithm runtime and
-// placement latency percentiles through Service.Stats:
+// update per round — and the solve runs on the scheduler's own graph under
+// no cluster lock, so a long solve never blocks a submitter. With
+// ServiceConfig.MaxPendingFactor set, the front door applies backpressure
+// once pending tasks exceed that multiple of cluster slots: Submit returns
+// ErrBacklogged and SubmitWait blocks until the scheduler catches up. A
+// dedicated scheduling loop paces rounds (ServiceConfig.RoundInterval),
+// publishes every enacted decision to Watch subscribers, and reports queue
+// depth, batch size, algorithm runtime and placement latency percentiles
+// through Service.Stats:
 //
 //	cl := firmament.NewCluster(firmament.Topology{Racks: 4, MachinesPerRack: 16, SlotsPerMachine: 32})
 //	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl),
@@ -103,8 +112,16 @@ const (
 	Service = cluster.Service
 )
 
-// NewCluster builds a cluster with the given topology.
+// NewCluster builds a cluster with the given topology and the default
+// front-door shard count.
 func NewCluster(topo Topology) *Cluster { return cluster.New(topo) }
+
+// NewShardedCluster builds a cluster with an explicit front-door shard
+// count (rounded up to a power of two). More shards admit more concurrent
+// submitters before lock contention.
+func NewShardedCluster(topo Topology, shards int) *Cluster {
+	return cluster.NewSharded(topo, shards)
+}
 
 // Scheduler core (paper §3, §6).
 type (
@@ -273,6 +290,15 @@ const (
 	DecisionPlaced    = core.DecisionPlaced
 	DecisionMigrated  = core.DecisionMigrated
 	DecisionPreempted = core.DecisionPreempted
+)
+
+// Serving-layer front-door errors.
+var (
+	// ErrBacklogged is returned by SchedulerService.Submit when the
+	// pending backlog exceeds ServiceConfig.MaxPendingFactor × slots.
+	ErrBacklogged = service.ErrBacklogged
+	// ErrServiceClosed is returned by front-door methods after Close.
+	ErrServiceClosed = service.ErrClosed
 )
 
 // NewService builds a scheduling service over cl with the given policy and

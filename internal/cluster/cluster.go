@@ -11,20 +11,28 @@
 //
 // # Concurrency
 //
-// A Cluster is safe for concurrent use: every method that touches the job,
-// task, or machine tables or the event log takes an internal lock, so many
-// goroutines may submit jobs and log events while a scheduling round is in
-// flight (the service layer's front door). The locking guards the tables
-// themselves; the *Task, *Job and *Machine records handed out by accessors
-// are only mutated by cluster methods, so a serving deployment must confine
-// record-field reads and lifecycle mutations (Place, Preempt, Complete) to
-// one scheduling goroutine, as internal/service does. Hooks are invoked
-// after the lock is released and may call back into the cluster.
+// A Cluster is safe for concurrent use, and its front door scales with
+// submitter count: the job and task tables and the event log are split
+// into a power-of-two number of shards keyed by job ID, each with its own
+// lock and append-only event journal. A job and all of its tasks live in
+// one shard, so SubmitJob takes exactly one shard lock and submitters on
+// different shards never contend. Machine occupancy lives behind a
+// separate machine lock; aggregate figures (NumPending, TotalSlots,
+// NumQueuedEvents) are atomic counters and never take a lock at all.
+//
+// The locking guards the tables themselves; the *Task, *Job and *Machine
+// records handed out by accessors are only mutated by cluster methods, so
+// a serving deployment must confine record-field reads and lifecycle
+// mutations (Place, Preempt, Complete) to one scheduling goroutine, as
+// internal/service does. Hooks are invoked after all locks are released
+// and may call back into the cluster.
 package cluster
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,11 +42,21 @@ type MachineID int32
 // RackID identifies a rack. IDs are dense indices.
 type RackID int32
 
-// JobID identifies a job.
+// JobID identifies a job. IDs are dense and allocated in submission order.
 type JobID int32
 
-// TaskID identifies a task across all jobs.
+// TaskID identifies a task across all jobs. The ID encodes its job in the
+// high 32 bits and the task's index within the job in the low 32 bits, so
+// a task's shard is derivable from its ID alone and sorting task IDs
+// yields (job, index) order — the submission order of a sequential
+// workload.
 type TaskID int64
+
+// taskID builds the composite task identifier.
+func taskID(j JobID, index int) TaskID { return TaskID(int64(j)<<32 | int64(index)) }
+
+// JobOfTask recovers the job encoded in a task ID.
+func JobOfTask(id TaskID) JobID { return JobID(id >> 32) }
 
 // InvalidMachine is the "not placed" sentinel.
 const InvalidMachine MachineID = -1
@@ -175,36 +193,89 @@ type Hooks struct {
 	Preempted func(t *Task, now time.Duration)
 }
 
+// DefaultShards is the shard count New uses. It is a fixed constant (not
+// derived from GOMAXPROCS) so that task ID allocation — and therefore any
+// seeded experiment that iterates tasks in ID order — is identical on
+// every machine.
+const DefaultShards = 16
+
+// shard is one partition of the job/task tables and the event log. Task
+// events land in the shard of the task's job; machine events in the shard
+// of the machine's ID. Per-entity event order is therefore preserved
+// within a single journal even though no global order exists.
+type shard struct {
+	mu      sync.RWMutex
+	jobs    map[JobID]*Job
+	tasks   map[TaskID]*Task
+	pending map[TaskID]struct{}
+	events  []Event
+	spare   []Event // drained buffer recycled by DrainEventShards
+}
+
 // Cluster is the authoritative cluster state.
 type Cluster struct {
 	// Hooks are invoked on state transitions when set. Set them before any
-	// concurrent use; they run outside the cluster lock.
+	// concurrent use; they run outside all cluster locks.
 	Hooks Hooks
 
-	mu       sync.RWMutex
-	topo     Topology
+	topo      Topology
+	shards    []*shard
+	shardMask int64
+	nextJob   atomic.Int32
+
+	// Aggregates maintained on every transition so the hot paths
+	// (backpressure checks, queue-depth metrics, idle detection) never
+	// take a lock.
+	numPending   atomic.Int64
+	numEvents    atomic.Int64
+	healthySlots atomic.Int64
+
+	// Machine occupancy and health. Acquired after a shard lock when both
+	// are needed (shard → machine order, everywhere).
+	machMu   sync.RWMutex
 	machines []*Machine
 	racks    [][]MachineID
-	jobs     map[JobID]*Job
-	tasks    map[TaskID]*Task
-	nextJob  JobID
-	nextTask TaskID
-	events   []Event
-	pending  map[TaskID]struct{}
 }
 
-// New builds a cluster with the given topology. All machines start healthy
-// and empty; no events are emitted for the initial machines.
-func New(topo Topology) *Cluster {
+// New builds a cluster with the given topology and DefaultShards front-door
+// shards. All machines start healthy and empty; no events are emitted for
+// the initial machines.
+func New(topo Topology) *Cluster { return NewSharded(topo, DefaultShards) }
+
+// RoundShards rounds a requested shard count up to the next power of two
+// (minimum 1) — the rounding both the cluster tables and the service's
+// ingestion queues apply, so the two front-door shard counts line up.
+func RoundShards(shards int) int {
+	if shards < 1 {
+		return 1
+	}
+	if shards&(shards-1) != 0 {
+		return 1 << bits.Len(uint(shards))
+	}
+	return shards
+}
+
+// NewSharded builds a cluster with an explicit front-door shard count;
+// shards is rounded up to the next power of two (minimum 1). More shards
+// admit more concurrent submitters before lock contention; one shard
+// reproduces the old single-lock behavior.
+func NewSharded(topo Topology, shards int) *Cluster {
 	if topo.NICBps == 0 {
 		topo.NICBps = 10 * 1000 * 1000 * 1000 / 8 // 10 Gb/s in bytes/sec
 	}
+	shards = RoundShards(shards)
 	c := &Cluster{
-		topo:    topo,
-		jobs:    make(map[JobID]*Job),
-		tasks:   make(map[TaskID]*Task),
-		racks:   make([][]MachineID, topo.Racks),
-		pending: make(map[TaskID]struct{}),
+		topo:      topo,
+		shards:    make([]*shard, shards),
+		shardMask: int64(shards - 1),
+		racks:     make([][]MachineID, topo.Racks),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			jobs:    make(map[JobID]*Job),
+			tasks:   make(map[TaskID]*Task),
+			pending: make(map[TaskID]struct{}),
+		}
 	}
 	for r := 0; r < topo.Racks; r++ {
 		for i := 0; i < topo.MachinesPerRack; i++ {
@@ -219,10 +290,25 @@ func New(topo Topology) *Cluster {
 			}
 			c.machines = append(c.machines, m)
 			c.racks[r] = append(c.racks[r], id)
+			c.healthySlots.Add(int64(topo.SlotsPerMachine))
 		}
 	}
 	return c
 }
+
+// NumShards returns the front-door shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// jobShard returns the shard owning a job (and all of its tasks).
+func (c *Cluster) jobShard(j JobID) *shard { return c.shards[int64(j)&c.shardMask] }
+
+// taskShard returns the shard owning a task, derived from the job encoded
+// in the ID's high bits.
+func (c *Cluster) taskShard(id TaskID) *shard { return c.jobShard(JobOfTask(id)) }
+
+// machineShard returns the shard whose journal receives a machine's
+// add/remove events, so per-machine event order is preserved.
+func (c *Cluster) machineShard(id MachineID) *shard { return c.shards[int64(id)&c.shardMask] }
 
 // Topology returns the construction topology.
 func (c *Cluster) Topology() Topology { return c.topo }
@@ -236,12 +322,12 @@ func (c *Cluster) NumRacks() int { return len(c.racks) }
 // Machine returns the machine with the given ID.
 func (c *Cluster) Machine(id MachineID) *Machine { return c.machines[id] }
 
-// Machines calls fn for every machine in ID order, holding the cluster's
-// read lock: fn sees a consistent snapshot of each machine's occupancy but
-// must not call mutating cluster methods.
+// Machines calls fn for every machine in ID order, holding the machine
+// lock: fn sees a consistent snapshot of each machine's occupancy but must
+// not call mutating cluster methods.
 func (c *Cluster) Machines(fn func(*Machine)) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.machMu.RLock()
+	defer c.machMu.RUnlock()
 	for _, m := range c.machines {
 		fn(m)
 	}
@@ -256,51 +342,57 @@ func (c *Cluster) RackOf(id MachineID) RackID { return c.machines[id].Rack }
 
 // Task returns the task with the given ID, or nil.
 func (c *Cluster) Task(id TaskID) *Task {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tasks[id]
+	sh := c.taskShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tasks[id]
 }
 
 // Job returns the job with the given ID, or nil.
 func (c *Cluster) Job(id JobID) *Job {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.jobs[id]
+	sh := c.jobShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.jobs[id]
 }
 
-// Jobs calls fn for every job, holding the cluster's read lock; fn must not
-// call mutating cluster methods. Iteration order is unspecified.
+// Jobs calls fn for every job via per-shard traversal; fn must not call
+// mutating cluster methods. Iteration order is unspecified, and the
+// snapshot is consistent per shard, not across shards.
 func (c *Cluster) Jobs(fn func(*Job)) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, j := range c.jobs {
-		fn(j)
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, j := range sh.jobs {
+			fn(j)
+		}
+		sh.mu.RUnlock()
 	}
 }
 
-// PendingTasks returns the IDs of tasks waiting for placement. The order is
-// unspecified; callers needing determinism must sort.
+// PendingTasks returns the IDs of tasks waiting for placement, gathered
+// shard by shard. The order is unspecified; callers needing determinism
+// must sort.
 func (c *Cluster) PendingTasks() []TaskID {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]TaskID, 0, len(c.pending))
-	for id := range c.pending {
-		out = append(out, id)
+	out := make([]TaskID, 0, max(c.numPending.Load(), 0))
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for id := range sh.pending {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
-// NumPending returns the number of tasks waiting for placement.
-func (c *Cluster) NumPending() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.pending)
-}
+// NumPending returns the number of tasks waiting for placement. It reads
+// an atomic counter and never blocks — front-door backpressure checks sit
+// on this path.
+func (c *Cluster) NumPending() int { return int(c.numPending.Load()) }
 
 // NumRunning returns the number of running tasks.
 func (c *Cluster) NumRunning() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.machMu.RLock()
+	defer c.machMu.RUnlock()
 	return c.numRunningLocked()
 }
 
@@ -312,53 +404,41 @@ func (c *Cluster) numRunningLocked() int {
 	return n
 }
 
-// TotalSlots returns the slot count over healthy machines.
-func (c *Cluster) TotalSlots() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.totalSlotsLocked()
-}
-
-func (c *Cluster) totalSlotsLocked() int {
-	n := 0
-	for _, m := range c.machines {
-		if m.healthy {
-			n += m.Slots
-		}
-	}
-	return n
-}
+// TotalSlots returns the slot count over healthy machines (an atomic
+// counter maintained on machine removal/restore).
+func (c *Cluster) TotalSlots() int { return int(c.healthySlots.Load()) }
 
 // SlotUtilization returns running tasks / healthy slots.
 func (c *Cluster) SlotUtilization() float64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	slots := c.totalSlotsLocked()
+	slots := c.TotalSlots()
 	if slots == 0 {
 		return 0
 	}
-	return float64(c.numRunningLocked()) / float64(slots)
+	return float64(c.NumRunning()) / float64(slots)
 }
 
 // SubmitJob registers a job and its tasks at the given virtual time,
-// emitting one EventTaskSubmitted per task. The specs slice supplies one
-// entry per task.
+// emitting one EventTaskSubmitted per task into the job's shard journal.
+// The specs slice supplies one entry per task. SubmitJob acquires exactly
+// one shard lock; concurrent submitters whose jobs land on different
+// shards proceed without contention.
 func (c *Cluster) SubmitJob(class JobClass, priority int, now time.Duration, specs []TaskSpec) *Job {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	id := JobID(c.nextJob.Add(1) - 1)
 	job := &Job{
-		ID:         c.nextJob,
+		ID:         id,
 		Class:      class,
 		Priority:   priority,
 		SubmitTime: now,
+		Tasks:      make([]TaskID, 0, len(specs)),
 		remaining:  len(specs),
 	}
-	c.nextJob++
-	c.jobs[job.ID] = job
+	sh := c.jobShard(id)
+	sh.mu.Lock()
+	sh.jobs[id] = job
 	for i, spec := range specs {
 		t := &Task{
-			ID:         c.nextTask,
-			Job:        job.ID,
+			ID:         taskID(id, i),
+			Job:        id,
 			Index:      i,
 			Duration:   spec.Duration,
 			InputFile:  spec.InputFile,
@@ -368,12 +448,18 @@ func (c *Cluster) SubmitJob(class JobClass, priority int, now time.Duration, spe
 			SubmitTime: now,
 			Machine:    InvalidMachine,
 		}
-		c.nextTask++
-		c.tasks[t.ID] = t
+		sh.tasks[t.ID] = t
 		job.Tasks = append(job.Tasks, t.ID)
-		c.pending[t.ID] = struct{}{}
-		c.events = append(c.events, Event{Kind: EventTaskSubmitted, Task: t.ID, Time: now})
+		sh.pending[t.ID] = struct{}{}
+		sh.events = append(sh.events, Event{Kind: EventTaskSubmitted, Task: t.ID, Time: now})
 	}
+	// Counters move inside the critical section: anyone who acquires the
+	// shard lock and sees these tasks (the scheduler about to Place and
+	// decrement) has necessarily seen the increment too, so the aggregates
+	// can never go transiently negative.
+	c.numPending.Add(int64(len(specs)))
+	c.numEvents.Add(int64(len(specs)))
+	sh.mu.Unlock()
 	return job
 }
 
@@ -389,23 +475,27 @@ type TaskSpec struct {
 // error if the task is not pending, the machine is unhealthy, or the
 // machine has no free slot.
 func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
-	c.mu.Lock()
-	t, ok := c.tasks[id]
+	sh := c.taskShard(id)
+	sh.mu.Lock()
+	t, ok := sh.tasks[id]
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: place of unknown task %d", id)
 	}
 	if t.State != TaskPending {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: place of task %d in state %s", id, t.State)
 	}
+	c.machMu.Lock()
 	mach := c.machines[m]
 	if !mach.healthy {
-		c.mu.Unlock()
+		c.machMu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: place of task %d on unhealthy machine %d", id, m)
 	}
 	if len(mach.running) >= mach.Slots {
-		c.mu.Unlock()
+		c.machMu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: machine %d has no free slot for task %d", m, id)
 	}
 	t.State = TaskRunning
@@ -413,8 +503,10 @@ func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
 	t.StartTime = now
 	mach.running[id] = struct{}{}
 	mach.reserved += t.NetDemand
-	delete(c.pending, id)
-	c.mu.Unlock()
+	c.machMu.Unlock()
+	delete(sh.pending, id)
+	c.numPending.Add(-1)
+	sh.mu.Unlock()
 	if c.Hooks.Placed != nil {
 		c.Hooks.Placed(t, now)
 	}
@@ -424,19 +516,22 @@ func (c *Cluster) Place(id TaskID, m MachineID, now time.Duration) error {
 // Preempt stops a running task and returns it to the pending queue
 // (flow-based scheduling may preempt and migrate tasks, paper §2.2).
 func (c *Cluster) Preempt(id TaskID, now time.Duration) error {
-	c.mu.Lock()
-	t, ok := c.tasks[id]
+	sh := c.taskShard(id)
+	sh.mu.Lock()
+	t, ok := sh.tasks[id]
 	if !ok || t.State != TaskRunning {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: preempt of task %d not running", id)
 	}
 	c.detach(t)
 	t.State = TaskPending
 	t.Preemptions++
-	c.pending[id] = struct{}{}
-	c.events = append(c.events, Event{Kind: EventTaskEvicted, Task: id, Machine: t.Machine, Time: now})
+	sh.pending[id] = struct{}{}
+	sh.events = append(sh.events, Event{Kind: EventTaskEvicted, Task: id, Machine: t.Machine, Time: now})
 	t.Machine = InvalidMachine
-	c.mu.Unlock()
+	c.numPending.Add(1)
+	c.numEvents.Add(1)
+	sh.mu.Unlock()
 	if c.Hooks.Preempted != nil {
 		c.Hooks.Preempted(t, now)
 	}
@@ -446,10 +541,11 @@ func (c *Cluster) Preempt(id TaskID, now time.Duration) error {
 // Complete marks a running task finished, freeing its slot and emitting
 // EventTaskCompleted.
 func (c *Cluster) Complete(id TaskID, now time.Duration) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t, ok := c.tasks[id]
+	sh := c.taskShard(id)
+	sh.mu.Lock()
+	t, ok := sh.tasks[id]
 	if !ok || t.State != TaskRunning {
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: complete of task %d not running", id)
 	}
 	m := t.Machine
@@ -457,42 +553,65 @@ func (c *Cluster) Complete(id TaskID, now time.Duration) error {
 	t.State = TaskCompleted
 	t.FinishTime = now
 	t.Machine = InvalidMachine
-	job := c.jobs[t.Job]
-	job.remaining--
-	c.events = append(c.events, Event{Kind: EventTaskCompleted, Task: id, Machine: m, Time: now})
+	sh.jobs[t.Job].remaining-- // job lives in the task's shard
+	sh.events = append(sh.events, Event{Kind: EventTaskCompleted, Task: id, Machine: m, Time: now})
+	c.numEvents.Add(1)
+	sh.mu.Unlock()
 	return nil
 }
 
 // JobDone reports whether all tasks of the job have completed.
 func (c *Cluster) JobDone(id JobID) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.jobs[id].remaining == 0
+	sh := c.jobShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.jobs[id].remaining == 0
 }
 
 // RemoveMachine marks a machine unhealthy and evicts its tasks back to
 // pending, emitting EventMachineRemoved plus one EventTaskEvicted per task.
 func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
-	c.mu.Lock()
+	c.machMu.Lock()
 	m := c.machines[id]
 	if !m.healthy {
-		c.mu.Unlock()
+		c.machMu.Unlock()
 		return
 	}
 	m.healthy = false
-	var evicted []*Task
+	c.healthySlots.Add(-int64(m.Slots))
+	victims := make([]TaskID, 0, len(m.running))
 	for tid := range m.running {
-		t := c.tasks[tid]
+		victims = append(victims, tid)
+	}
+	c.machMu.Unlock()
+
+	var evicted []*Task
+	for _, tid := range victims {
+		sh := c.taskShard(tid)
+		sh.mu.Lock()
+		t := sh.tasks[tid]
+		if t == nil || t.State != TaskRunning || t.Machine != id {
+			sh.mu.Unlock() // raced a completion; nothing to evict
+			continue
+		}
 		c.detach(t)
 		t.State = TaskPending
 		t.Preemptions++
 		t.Machine = InvalidMachine
-		c.pending[tid] = struct{}{}
-		c.events = append(c.events, Event{Kind: EventTaskEvicted, Task: tid, Machine: id, Time: now})
+		sh.pending[tid] = struct{}{}
+		sh.events = append(sh.events, Event{Kind: EventTaskEvicted, Task: tid, Machine: id, Time: now})
+		c.numPending.Add(1)
+		c.numEvents.Add(1)
+		sh.mu.Unlock()
 		evicted = append(evicted, t)
 	}
-	c.events = append(c.events, Event{Kind: EventMachineRemoved, Machine: id, Time: now})
-	c.mu.Unlock()
+
+	msh := c.machineShard(id)
+	msh.mu.Lock()
+	msh.events = append(msh.events, Event{Kind: EventMachineRemoved, Machine: id, Time: now})
+	c.numEvents.Add(1)
+	msh.mu.Unlock()
+
 	if c.Hooks.Preempted != nil {
 		for _, t := range evicted {
 			c.Hooks.Preempted(t, now)
@@ -502,43 +621,83 @@ func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
 
 // RestoreMachine returns an unhealthy machine to service.
 func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.machMu.Lock()
 	m := c.machines[id]
 	if m.healthy {
+		c.machMu.Unlock()
 		return
 	}
 	m.healthy = true
-	c.events = append(c.events, Event{Kind: EventMachineAdded, Machine: id, Time: now})
+	c.healthySlots.Add(int64(m.Slots))
+	c.machMu.Unlock()
+
+	msh := c.machineShard(id)
+	msh.mu.Lock()
+	msh.events = append(msh.events, Event{Kind: EventMachineAdded, Machine: id, Time: now})
+	c.numEvents.Add(1)
+	msh.mu.Unlock()
 }
 
 // DrainEvents returns all events logged since the previous drain and clears
-// the log. Schedulers call this once per scheduling round (paper Fig. 2b:
-// "change detected" → "graph updated"). Events logged by concurrent
-// submitters while a round is in flight accumulate and drain as one batch
-// at the next round — the event-coalescing behavior of the paper.
+// the journals. Events drain shard by shard: within a shard (one journal)
+// order is append order, and since every event of a given task or machine
+// lands in one fixed shard, per-entity causal order is preserved. No
+// cross-shard order exists — the scheduler's graph update does not need
+// one. Events logged by concurrent submitters while a round is in flight
+// accumulate and drain as one batch at the next round — the
+// event-coalescing behavior of the paper (Fig. 2b).
 func (c *Cluster) DrainEvents() []Event {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ev := c.events
-	c.events = nil
-	return ev
+	var out []Event
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if n := len(sh.events); n > 0 {
+			out = append(out, sh.events...)
+			sh.events = sh.events[:0]
+			c.numEvents.Add(-int64(n))
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// DrainEventShards drains each shard's journal in turn, calling fn once
+// per non-empty shard with the drained batch. The shard lock is held only
+// for the buffer swap — never while fn runs — so event consumers (the
+// scheduler's graph update) execute under no cluster lock and submitters
+// proceed unimpeded. The slice passed to fn is only valid for the duration
+// of the call: its backing array is recycled for the shard's next journal.
+func (c *Cluster) DrainEventShards(fn func([]Event)) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		ev := sh.events
+		sh.events = sh.spare[:0]
+		sh.spare = nil
+		c.numEvents.Add(-int64(len(ev)))
+		sh.mu.Unlock()
+		if len(ev) > 0 {
+			fn(ev)
+		}
+		sh.mu.Lock()
+		sh.spare = ev[:0]
+		sh.mu.Unlock()
+	}
 }
 
 // NumQueuedEvents returns the number of events accumulated since the last
-// drain (the service layer reports it as queue depth).
-func (c *Cluster) NumQueuedEvents() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.events)
-}
+// drain (the service layer reports it as queue depth). Like NumPending it
+// is an atomic counter read.
+func (c *Cluster) NumQueuedEvents() int { return int(c.numEvents.Load()) }
 
-// detach removes a task from its machine's bookkeeping.
+// detach removes a task from its machine's bookkeeping. The caller holds
+// the task's shard lock; detach takes the machine lock (shard → machine
+// order).
 func (c *Cluster) detach(t *Task) {
 	if t.Machine == InvalidMachine {
 		return
 	}
+	c.machMu.Lock()
 	m := c.machines[t.Machine]
 	delete(m.running, t.ID)
 	m.reserved -= t.NetDemand
+	c.machMu.Unlock()
 }

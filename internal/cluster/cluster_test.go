@@ -175,6 +175,155 @@ func TestJobDone(t *testing.T) {
 	}
 }
 
+// TestShardedIDAllocation pins the composite task-ID scheme the sharded
+// tables rely on: a task's shard is derived from the job in its ID's high
+// bits, IDs are unique across shard counts, and sorting the IDs of a
+// sequentially submitted workload reproduces submission order.
+func TestShardedIDAllocation(t *testing.T) {
+	for _, shards := range []int{1, 2, 16, 64} {
+		c := NewSharded(testTopo(), shards)
+		if got := c.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d, want %d", got, shards)
+		}
+		var inOrder []TaskID
+		for j := 0; j < 10; j++ {
+			job := c.SubmitJob(Batch, 0, 0, make([]TaskSpec, 7))
+			if job.ID != JobID(j) {
+				t.Fatalf("job ID %d, want %d", job.ID, j)
+			}
+			for i, id := range job.Tasks {
+				if JobOfTask(id) != job.ID {
+					t.Fatalf("JobOfTask(%d) = %d, want %d", id, JobOfTask(id), job.ID)
+				}
+				task := c.Task(id)
+				if task == nil || task.Job != job.ID || task.Index != i {
+					t.Fatalf("task %d resolves to %+v", id, task)
+				}
+			}
+			inOrder = append(inOrder, job.Tasks...)
+		}
+		seen := make(map[TaskID]bool, len(inOrder))
+		for i, id := range inOrder {
+			if seen[id] {
+				t.Fatalf("shards=%d: duplicate task ID %d", shards, id)
+			}
+			seen[id] = true
+			if i > 0 && id <= inOrder[i-1] {
+				t.Fatalf("shards=%d: sequential submission order not ID order: %d after %d",
+					shards, id, inOrder[i-1])
+			}
+		}
+	}
+}
+
+// TestShardCountRounding pins NewSharded's power-of-two rounding.
+func TestShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {-3, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewSharded(testTopo(), tc.in).NumShards(); got != tc.want {
+			t.Fatalf("NewSharded(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDrainEventShards checks the per-shard drain: every event is seen
+// exactly once, per-job (and per-machine) order is preserved within a
+// batch, the shard lock is not held during the callback (the callback can
+// read cluster state), and the drained buffers are recycled across drains.
+func TestDrainEventShards(t *testing.T) {
+	c := NewSharded(testTopo(), 4)
+	jobs := make([]*Job, 6)
+	for j := range jobs {
+		jobs[j] = c.SubmitJob(Batch, 0, time.Duration(j), make([]TaskSpec, 3))
+	}
+	c.RemoveMachine(5, time.Minute)
+	wantEvents := 6*3 + 1
+	if got := c.NumQueuedEvents(); got != wantEvents {
+		t.Fatalf("NumQueuedEvents = %d, want %d", got, wantEvents)
+	}
+
+	total := 0
+	batches := 0
+	perJob := make(map[JobID]int)
+	c.DrainEventShards(func(ev []Event) {
+		batches++
+		total += len(ev)
+		c.NumPending() // callback runs outside the shard lock
+		for _, e := range ev {
+			if e.Kind != EventTaskSubmitted {
+				continue
+			}
+			// Within a shard journal, a job's submissions appear in
+			// task-index order.
+			j := JobOfTask(e.Task)
+			if idx := int(e.Task) & 0xffffffff; idx != perJob[j] {
+				t.Fatalf("job %d: event for index %d before index %d", j, idx, perJob[j])
+			}
+			perJob[j]++
+		}
+	})
+	if total != wantEvents {
+		t.Fatalf("drained %d events, want %d", total, wantEvents)
+	}
+	if batches == 0 || batches > c.NumShards() {
+		t.Fatalf("drain called fn %d times with %d shards", batches, c.NumShards())
+	}
+	if got := c.NumQueuedEvents(); got != 0 {
+		t.Fatalf("NumQueuedEvents = %d after drain, want 0", got)
+	}
+
+	// Second cycle reuses the recycled buffers and still sees every event.
+	c.SubmitJob(Batch, 0, time.Hour, make([]TaskSpec, 5))
+	total = 0
+	c.DrainEventShards(func(ev []Event) { total += len(ev) })
+	if total != 5 {
+		t.Fatalf("second drain saw %d events, want 5", total)
+	}
+}
+
+// TestAggregateCounters checks the lock-free aggregates against the table
+// state through a lifecycle that touches every transition.
+func TestAggregateCounters(t *testing.T) {
+	c := New(testTopo())
+	if c.TotalSlots() != 24 || c.NumPending() != 0 {
+		t.Fatalf("fresh cluster: slots=%d pending=%d", c.TotalSlots(), c.NumPending())
+	}
+	job := c.SubmitJob(Batch, 0, 0, make([]TaskSpec, 4))
+	if c.NumPending() != 4 || c.NumQueuedEvents() != 4 {
+		t.Fatalf("after submit: pending=%d events=%d", c.NumPending(), c.NumQueuedEvents())
+	}
+	c.Place(job.Tasks[0], 0, 0)
+	c.Place(job.Tasks[1], 1, 0)
+	if c.NumPending() != 2 {
+		t.Fatalf("after 2 places: pending=%d", c.NumPending())
+	}
+	c.Preempt(job.Tasks[0], time.Second)
+	if c.NumPending() != 3 {
+		t.Fatalf("after preempt: pending=%d", c.NumPending())
+	}
+	c.Complete(job.Tasks[1], time.Second)
+	if c.NumPending() != 3 {
+		t.Fatalf("after complete: pending=%d", c.NumPending())
+	}
+	c.RemoveMachine(0, 2*time.Second)
+	if c.TotalSlots() != 20 {
+		t.Fatalf("after machine removal: slots=%d", c.TotalSlots())
+	}
+	c.RestoreMachine(0, 3*time.Second)
+	if c.TotalSlots() != 24 {
+		t.Fatalf("after machine restore: slots=%d", c.TotalSlots())
+	}
+	// The whole history drains, and the drain zeroes the counter.
+	want := c.NumQueuedEvents()
+	if got := len(c.DrainEvents()); got != want {
+		t.Fatalf("drained %d events, counter said %d", got, want)
+	}
+	if c.NumQueuedEvents() != 0 {
+		t.Fatalf("drain left counter at %d", c.NumQueuedEvents())
+	}
+}
+
 // TestConcurrentSubmission hammers the cluster's front door from many
 // goroutines while a consumer drains events and reads aggregate state,
 // mirroring the serving layer's access pattern. Run under -race.

@@ -246,6 +246,21 @@ func (gm *GraphManager) drainTaskFlow(taskNode flow.NodeID) {
 	}
 }
 
+// ApplyClusterEvents drains the cluster's sharded event journals and folds
+// each batch into the graph, returning the number of events applied. The
+// cluster holds each shard lock only for a buffer swap, never while the
+// graph mutates, so the whole graph update — and the solve that follows —
+// executes under no cluster lock and concurrent submitters proceed
+// unimpeded (the lock-decoupled round structure of the serving layer).
+func (gm *GraphManager) ApplyClusterEvents() int {
+	n := 0
+	gm.cl.DrainEventShards(func(events []cluster.Event) {
+		gm.ApplyEvents(events)
+		n += len(events)
+	})
+	return n
+}
+
 // ApplyEvents folds a batch of cluster events into the graph. All cluster
 // events reduce to supply, capacity, and cost changes (paper §5.2).
 func (gm *GraphManager) ApplyEvents(events []cluster.Event) {

@@ -88,12 +88,14 @@ type RoundStats struct {
 func (st RoundStats) AlgorithmRuntime() time.Duration { return st.Pool.AlgorithmTime }
 
 // Schedule drains cluster events, updates the flow network, runs the solver
-// pool and extracts placements. It does not touch cluster state; call
+// pool and extracts placements. It does not touch cluster state beyond the
+// per-shard journal swaps of the event drain — in particular, the solver
+// pool runs on the scheduler's own graph under no cluster lock. Call
 // ApplyRound (typically after the algorithm runtime has elapsed in
 // simulation time) to enact the decisions.
 func (s *Scheduler) Schedule(now time.Duration) (*Round, error) {
 	t0 := time.Now()
-	s.gm.ApplyEvents(s.cl.DrainEvents())
+	s.gm.ApplyClusterEvents()
 	s.gm.UpdateRound(now)
 	updateTime := time.Since(t0)
 

@@ -2,21 +2,40 @@
 // concurrency-safe scheduling service that wraps the one-shot core.Scheduler
 // into the continuously running deployment of the paper (Fig. 2b).
 //
-// Many goroutines submit jobs, report task completions, and add or remove
-// machines through the service's front door. Mutations that must be enacted
-// by the scheduling loop (completions, machine changes) pass through a
-// batched ingestion queue: they accumulate while a solver round is in
-// flight and drain in one batch at the next round start, so an arbitrarily
-// bursty event stream coalesces into one incremental graph update per round
-// — the paper's event-coalescing behavior. Job submissions take the fast
-// path straight into the cluster tables (cluster.Cluster is safe for
-// concurrent submission) and surface to the scheduler through the cluster's
-// event log, which the next round drains as a single ApplyEvents batch.
+// # Sharded front door
 //
-// A dedicated scheduling loop runs the speculative solver pool with
-// configurable round pacing, publishes every enacted decision to Watch
-// subscribers, and accumulates per-round metrics (queue depth, batch size,
-// algorithm runtime, placement latency percentiles) via internal/metrics.
+// Many goroutines submit jobs, report task completions, and add or remove
+// machines through the service's front door, and the front door scales with
+// submitter count instead of serializing on a global lock. Job submissions
+// take the fast path straight into the cluster tables: cluster.Cluster
+// shards its job/task tables and its event log by job ID, so concurrent
+// submitters whose jobs land on different shards never contend, and each
+// submission surfaces to the scheduler through its shard's append-only
+// event journal. Mutations that must be enacted by the scheduling loop
+// (completions, machine changes) pass through per-shard ingestion queues
+// sharded the same way; they accumulate while a solver round is in flight
+// and the round start drains them with one buffer swap per shard,
+// preserving the one-batch-per-round coalescing semantics of the paper.
+//
+// # Lock-decoupled rounds
+//
+// A dedicated scheduling loop paces rounds: each round drains the op
+// shards, folds the cluster's shard journals into the flow network under
+// short per-shard critical sections (the shard lock is held only for a
+// buffer swap, never while the graph mutates), and then runs the
+// speculative solver pool on the scheduler's own graph under no cluster
+// lock at all — an arbitrarily long solve never blocks a submitter. The
+// loop publishes every enacted decision to Watch subscribers and
+// accumulates per-round metrics (queue depth, batch size, algorithm
+// runtime, placement latency percentiles) via internal/metrics.
+//
+// # Backpressure
+//
+// With Config.MaxPendingFactor set, the front door refuses work once the
+// pending backlog exceeds that multiple of the cluster's healthy slots:
+// Submit returns ErrBacklogged (callers shed or retry), and SubmitWait
+// blocks until the backlog drains or the service closes. The pending count
+// is an atomic counter, so the admission check costs no lock.
 package service
 
 import (
@@ -36,6 +55,12 @@ import (
 // scheduling loop has died on a solver error).
 var ErrClosed = errors.New("service: scheduler service is closed")
 
+// ErrBacklogged is returned by Submit when the pending backlog exceeds
+// Config.MaxPendingFactor times the cluster's healthy slots. The caller
+// may shed the job, retry later, or use SubmitWait to block until the
+// scheduler catches up.
+var ErrBacklogged = errors.New("service: pending backlog exceeds configured limit")
+
 // Config configures the serving layer (the solver configuration lives in
 // core.Config).
 type Config struct {
@@ -54,6 +79,18 @@ type Config struct {
 	// subscriber that falls more than a full buffer behind loses events
 	// (counted in Stats.DroppedPublications). Default 65536.
 	SubscriberBuffer int
+	// Shards is the number of ingestion-queue shards for the batched ops
+	// (completions, machine changes), rounded up to a power of two.
+	// Default: the cluster's front-door shard count, so op and submission
+	// sharding line up.
+	Shards int
+	// MaxPendingFactor enables front-door backpressure: once the cluster's
+	// pending-task count exceeds MaxPendingFactor × TotalSlots, Submit
+	// returns ErrBacklogged and SubmitWait blocks. Zero (the default)
+	// disables backpressure. The bound is soft: concurrent submissions
+	// that pass the admission check together may overshoot it by a few
+	// jobs.
+	MaxPendingFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +138,16 @@ type op struct {
 	machine cluster.MachineID
 }
 
+// opShard is one partition of the batched ingestion queue: a mutex-guarded
+// MPSC slice the scheduling loop drains with a single buffer swap per
+// round. Completions shard by the task's job (like the cluster tables),
+// machine ops by machine ID.
+type opShard struct {
+	mu    sync.Mutex
+	ops   []op
+	spare []op // drained buffer recycled to avoid per-round allocation
+}
+
 // Service is a long-running, concurrency-safe scheduling service.
 type Service struct {
 	cl    *cluster.Cluster
@@ -108,12 +155,19 @@ type Service struct {
 	cfg   Config
 	start time.Time
 
-	// Batched ingestion queue: swap-drained by the loop in one batch.
-	opMu    sync.Mutex
-	ops     []op
-	opSpare []op // drained buffer recycled to avoid per-round allocation
+	// Sharded batched ingestion queues: swap-drained per shard at round
+	// start into batch (a loop-owned buffer reused across rounds).
+	opShards  []*opShard
+	opMask    int64
+	opsQueued atomic.Int64
+	batch     []op
 
 	kick chan struct{} // wakes the loop; capacity 1, sends never block
+
+	// Backpressure: SubmitWait parks here; the loop broadcasts after every
+	// round (placements drain the backlog) and Close wakes everyone.
+	bpMu   sync.Mutex
+	bpCond *sync.Cond
 
 	subMu   sync.Mutex
 	subs    map[int]chan Placement
@@ -128,15 +182,17 @@ type Service struct {
 	runErr   error
 
 	// Counters (atomics: read by Stats from any goroutine).
-	rounds      atomic.Int64
-	submitted   atomic.Int64
-	placed      atomic.Int64
-	migrated    atomic.Int64
-	preempted   atomic.Int64
-	completed   atomic.Int64
-	stale       atomic.Int64
-	unscheduled atomic.Int64
-	dropped     atomic.Int64
+	rounds           atomic.Int64
+	submitted        atomic.Int64
+	refused          atomic.Int64
+	placed           atomic.Int64
+	migrated         atomic.Int64
+	preempted        atomic.Int64
+	completed        atomic.Int64
+	staleCompletions atomic.Int64
+	staleDecisions   atomic.Int64
+	unscheduled      atomic.Int64
+	dropped          atomic.Int64
 
 	queueDepth       metrics.SyncDist
 	batchSize        metrics.SyncDist
@@ -148,16 +204,29 @@ type Service struct {
 // New builds a scheduling service over cl with the given policy and solver
 // configuration and starts its scheduling loop. Call Close to stop it.
 func New(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg Config) *Service {
-	s := &Service{
-		cl:     cl,
-		sched:  core.NewScheduler(cl, model, schedCfg),
-		cfg:    cfg.withDefaults(),
-		start:  time.Now(),
-		kick:   make(chan struct{}, 1),
-		subs:   make(map[int]chan Placement),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
+	cfg = cfg.withDefaults()
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = cl.NumShards()
 	}
+	// Same rounding as the cluster tables, so shard selection is a mask.
+	n := cluster.RoundShards(shards)
+	s := &Service{
+		cl:       cl,
+		sched:    core.NewScheduler(cl, model, schedCfg),
+		cfg:      cfg,
+		start:    time.Now(),
+		opShards: make([]*opShard, n),
+		opMask:   int64(n - 1),
+		kick:     make(chan struct{}, 1),
+		subs:     make(map[int]chan Placement),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	for i := range s.opShards {
+		s.opShards[i] = &opShard{}
+	}
+	s.bpCond = sync.NewCond(&s.bpMu)
 	go s.loop()
 	return s
 }
@@ -170,15 +239,66 @@ func (s *Service) Scheduler() *core.Scheduler { return s.sched }
 // never reads a wall clock, so the service feeds it this monotonic offset.
 func (s *Service) now() time.Duration { return time.Since(s.start) }
 
+// backlogLimit returns the admission ceiling on pending tasks, or 0 when
+// backpressure is disabled.
+func (s *Service) backlogLimit() int {
+	if s.cfg.MaxPendingFactor <= 0 {
+		return 0
+	}
+	limit := int(s.cfg.MaxPendingFactor * float64(s.cl.TotalSlots()))
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// backlogged reports whether the pending backlog exceeds the configured
+// admission ceiling. Two atomic loads; no lock.
+func (s *Service) backlogged() bool {
+	limit := s.backlogLimit()
+	return limit > 0 && s.cl.NumPending() > limit
+}
+
 // Submit registers a job with one task per spec and wakes the scheduling
 // loop. It is safe to call from any goroutine; the returned job's ID and
 // task IDs are immediately valid, while placement happens asynchronously
 // (watch for Placement events). The job's submission events coalesce with
-// all others that arrive before the next round.
+// all others that arrive before the next round. When backpressure is
+// configured and the pending backlog exceeds the ceiling, Submit returns
+// ErrBacklogged without registering anything; SubmitWait blocks instead.
 func (s *Service) Submit(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	if s.backlogged() {
+		s.refused.Add(1)
+		return nil, ErrBacklogged
+	}
+	return s.submit(class, priority, specs)
+}
+
+// SubmitWait is Submit that blocks while the service is backlogged instead
+// of returning ErrBacklogged: it parks until the scheduler has drained the
+// pending backlog below the ceiling, then submits. It returns ErrClosed if
+// the service closes while waiting.
+func (s *Service) SubmitWait(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
+	s.bpMu.Lock()
+	for {
+		if s.closed.Load() {
+			s.bpMu.Unlock()
+			return nil, ErrClosed
+		}
+		if !s.backlogged() {
+			break
+		}
+		s.refused.Add(1)
+		s.bpCond.Wait()
+	}
+	s.bpMu.Unlock()
+	return s.submit(class, priority, specs)
+}
+
+func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
 	job := s.cl.SubmitJob(class, priority, s.now(), specs)
 	s.submitted.Add(int64(len(specs)))
 	s.wake()
@@ -186,9 +306,9 @@ func (s *Service) Submit(class cluster.JobClass, priority int, specs []cluster.T
 }
 
 // Complete reports that a running task finished. The completion is queued
-// and enacted at the next round start.
+// on the task's ingestion shard and enacted at the next round start.
 func (s *Service) Complete(id cluster.TaskID) error {
-	return s.enqueue(op{kind: opComplete, task: id})
+	return s.enqueue(int64(cluster.JobOfTask(id)), op{kind: opComplete, task: id})
 }
 
 // RemoveMachine queues a machine failure: at the next round start the
@@ -198,7 +318,7 @@ func (s *Service) RemoveMachine(id cluster.MachineID) error {
 	if id < 0 || int(id) >= s.cl.NumMachines() {
 		return fmt.Errorf("service: unknown machine %d", id)
 	}
-	return s.enqueue(op{kind: opRemoveMachine, machine: id})
+	return s.enqueue(int64(id), op{kind: opRemoveMachine, machine: id})
 }
 
 // RestoreMachine queues the return of a failed machine.
@@ -206,18 +326,51 @@ func (s *Service) RestoreMachine(id cluster.MachineID) error {
 	if id < 0 || int(id) >= s.cl.NumMachines() {
 		return fmt.Errorf("service: unknown machine %d", id)
 	}
-	return s.enqueue(op{kind: opRestoreMachine, machine: id})
+	return s.enqueue(int64(id), op{kind: opRestoreMachine, machine: id})
 }
 
-func (s *Service) enqueue(o op) error {
+func (s *Service) enqueue(key int64, o op) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.opMu.Lock()
-	s.ops = append(s.ops, o)
-	s.opMu.Unlock()
+	sh := s.opShards[key&s.opMask]
+	sh.mu.Lock()
+	sh.ops = append(sh.ops, o)
+	sh.mu.Unlock()
+	s.opsQueued.Add(1)
 	s.wake()
 	return nil
+}
+
+// drainOps swap-drains every op shard into the loop-owned batch buffer —
+// one short critical section per shard, no allocation in steady state —
+// and returns the batch. Only the scheduling loop calls it.
+func (s *Service) drainOps() []op {
+	s.batch = s.batch[:0]
+	for _, sh := range s.opShards {
+		sh.mu.Lock()
+		ops := sh.ops
+		sh.ops = sh.spare[:0]
+		sh.spare = ops[:0] // recycled after the copy below; loop is sole drainer
+		sh.mu.Unlock()
+		s.batch = append(s.batch, ops...)
+	}
+	if n := len(s.batch); n > 0 {
+		s.opsQueued.Add(int64(-n))
+	}
+	return s.batch
+}
+
+// wakeWaiters broadcasts to parked SubmitWait callers. The broadcast is
+// issued under bpMu: a waiter between its condition check and Wait still
+// holds bpMu, so the broadcast cannot land inside that window and be lost
+// — without the lock, a final broadcast (Close, loop death, or the last
+// round before the loop goes idle) could slip past a waiter about to
+// park, stranding it forever.
+func (s *Service) wakeWaiters() {
+	s.bpMu.Lock()
+	s.bpCond.Broadcast()
+	s.bpMu.Unlock()
 }
 
 // wake nudges the scheduling loop without blocking.
@@ -248,9 +401,11 @@ func (s *Service) Watch() (<-chan Placement, func()) {
 	return ch, func() {
 		once.Do(func() {
 			s.subMu.Lock()
-			if _, ok := s.subs[id]; ok {
-				delete(s.subs, id)
-				close(ch)
+			if s.subs != nil {
+				if _, ok := s.subs[id]; ok {
+					delete(s.subs, id)
+					close(ch)
+				}
 			}
 			s.subMu.Unlock()
 		})
@@ -259,12 +414,13 @@ func (s *Service) Watch() (<-chan Placement, func()) {
 
 // Close stops the scheduling loop, waits for the in-flight round to finish,
 // and closes all subscriber channels. It returns the loop's fatal error, if
-// any. Close is idempotent.
+// any. Close is idempotent, and wakes any SubmitWait callers with ErrClosed.
 func (s *Service) Close() error {
 	s.stopOnce.Do(func() {
 		s.closed.Store(true)
 		close(s.stopCh)
 	})
+	s.wakeWaiters() // unpark SubmitWait callers
 	<-s.doneCh
 	s.subMu.Lock()
 	for id, ch := range s.subs {
@@ -289,6 +445,7 @@ func (s *Service) Err() error {
 // schedule, apply, publish.
 func (s *Service) loop() {
 	defer close(s.doneCh)
+	defer s.wakeWaiters() // loop death must not strand SubmitWait callers
 	var lastRound time.Time
 	idleRounds := 0
 	pacing := time.NewTimer(0)
@@ -321,6 +478,9 @@ func (s *Service) loop() {
 			s.closed.Store(true)
 			return
 		}
+		// A round's placements drain the pending backlog: let any parked
+		// SubmitWait callers re-check the admission ceiling.
+		s.wakeWaiters()
 		// More work already waiting (ops queued, events logged, or tasks
 		// still pending placement): keep going, pacing bounds the rate.
 		// Rounds that neither folded in events nor enacted decisions back
@@ -347,34 +507,31 @@ func (s *Service) loop() {
 }
 
 // pendingWork reports whether another round would have anything to do.
+// Three atomic loads; no locks.
 func (s *Service) pendingWork() bool {
-	s.opMu.Lock()
-	queued := len(s.ops)
-	s.opMu.Unlock()
-	return queued > 0 || s.cl.NumQueuedEvents() > 0 || s.cl.NumPending() > 0
+	return s.opsQueued.Load() > 0 || s.cl.NumQueuedEvents() > 0 || s.cl.NumPending() > 0
 }
 
-// runRound drains the ingestion queue, runs one scheduling computation, and
-// applies and publishes its decisions. It reports whether the round made
-// progress (folded in events or enacted decisions).
+// runRound drains the ingestion queues, runs one scheduling computation,
+// and applies and publishes its decisions. It reports whether the round
+// made progress (folded in events or enacted decisions). The solve inside
+// sched.Schedule runs on the scheduler's own graph under no cluster lock:
+// submitters keep landing jobs on their shards while it runs, and their
+// events coalesce into the next round's batch.
 func (s *Service) runRound() (progress bool, err error) {
 	t0 := time.Now()
 	round := uint64(s.rounds.Add(1))
 
-	// Drain the batched ingestion queue in one swap.
-	s.opMu.Lock()
-	batch := s.ops
-	s.ops = s.opSpare[:0]
-	s.opMu.Unlock()
+	// Drain the sharded ingestion queues — one buffer swap per shard.
 	now := s.now()
-	for _, o := range batch {
+	for _, o := range s.drainOps() {
 		switch o.kind {
 		case opComplete:
 			// A completion can race a preemption the previous round
 			// enacted (the task went back to pending); such completions
 			// are stale, like any decision against moved-on state.
 			if err := s.cl.Complete(o.task, now); err != nil {
-				s.stale.Add(1)
+				s.staleCompletions.Add(1)
 			} else {
 				s.completed.Add(1)
 			}
@@ -384,7 +541,6 @@ func (s *Service) runRound() (progress bool, err error) {
 			s.cl.RestoreMachine(o.machine, now)
 		}
 	}
-	s.opSpare = batch
 
 	// Batch size: cluster events this round's graph update will fold in
 	// (submissions logged since the last round plus the ops just applied).
@@ -413,7 +569,7 @@ func (s *Service) runRound() (progress bool, err error) {
 	s.placed.Add(int64(ap.Placed))
 	s.migrated.Add(int64(ap.Migrated))
 	s.preempted.Add(int64(ap.Preempted))
-	s.stale.Add(int64(ap.Stale))
+	s.staleDecisions.Add(int64(ap.Stale))
 	s.unscheduled.Add(int64(ap.Unscheduled))
 	s.algoRuntime.AddDuration(r.Stats.AlgorithmRuntime())
 
@@ -447,14 +603,24 @@ func (s *Service) publish(decisions []Placement) {
 // Stats is a point-in-time snapshot of the service's counters and
 // distributions.
 type Stats struct {
-	Rounds      int64
-	Submitted   int64
-	Placed      int64
-	Migrated    int64
-	Preempted   int64
-	Completed   int64
-	Stale       int64
-	Unscheduled int64 // per-round sum of tasks left waiting
+	Rounds    int64
+	Submitted int64
+	// Backlogged counts front-door admissions refused (Submit) or delayed
+	// (SubmitWait backlog re-checks) by backpressure.
+	Backlogged int64
+	Placed     int64
+	Migrated   int64
+	Preempted  int64
+	Completed  int64
+	// StaleCompletions counts queued completions that raced a preemption
+	// the previous round enacted: by the time the op drained, the task was
+	// no longer running.
+	StaleCompletions int64
+	// StaleDecisions counts round decisions skipped because cluster state
+	// moved on between the solve and the apply (task finished, machine
+	// failed, destination slot taken — core.ApplyStats.Stale).
+	StaleDecisions int64
+	Unscheduled    int64 // per-round sum of tasks left waiting
 	// DroppedPublications counts placement events lost to slow
 	// subscribers.
 	DroppedPublications int64
@@ -472,16 +638,22 @@ type Stats struct {
 	PlacementLatency *metrics.Dist
 }
 
+// Stale returns the two staleness counters summed — the pre-split figure,
+// kept for dashboards that want one staleness number.
+func (st Stats) Stale() int64 { return st.StaleCompletions + st.StaleDecisions }
+
 // Stats returns a consistent snapshot; safe to call from any goroutine.
 func (s *Service) Stats() Stats {
 	return Stats{
 		Rounds:              s.rounds.Load(),
 		Submitted:           s.submitted.Load(),
+		Backlogged:          s.refused.Load(),
 		Placed:              s.placed.Load(),
 		Migrated:            s.migrated.Load(),
 		Preempted:           s.preempted.Load(),
 		Completed:           s.completed.Load(),
-		Stale:               s.stale.Load(),
+		StaleCompletions:    s.staleCompletions.Load(),
+		StaleDecisions:      s.staleDecisions.Load(),
 		Unscheduled:         s.unscheduled.Load(),
 		DroppedPublications: s.dropped.Load(),
 		QueueDepth:          s.queueDepth.Snapshot(),

@@ -261,6 +261,243 @@ func TestServiceMachineRemoval(t *testing.T) {
 	_ = cl
 }
 
+// fillBacklog submits jobs until Submit refuses with ErrBacklogged,
+// returning how many tasks were accepted. Fails the test if the front door
+// never pushes back.
+func fillBacklog(t *testing.T, svc *Service, tasksPerJob int) int {
+	t.Helper()
+	accepted := 0
+	for i := 0; i < 10000; i++ {
+		_, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, tasksPerJob))
+		if errors.Is(err, ErrBacklogged) {
+			return accepted
+		}
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		accepted += tasksPerJob
+	}
+	t.Fatal("Submit never returned ErrBacklogged")
+	return 0
+}
+
+// TestSubmitBackpressure drives the front door into the configured backlog
+// ceiling and checks that Submit sheds with ErrBacklogged, that SubmitWait
+// parks until the scheduler drains the backlog, and that the refusals are
+// counted.
+func TestSubmitBackpressure(t *testing.T) {
+	// One machine, two slots, ceiling at 2x slots: tiny enough to fill
+	// instantly. Tasks never complete on their own (the test completes
+	// them), so the backlog only drains when we let it.
+	svc, _ := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 1, SlotsPerMachine: 2},
+		Config{MaxPendingFactor: 2})
+	events, cancel := svc.Watch()
+	defer cancel()
+
+	// Saturate both slots first so nothing the backlog fill submits can be
+	// placed — pending can only grow until the completer starts.
+	if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 2)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	var saturators []cluster.TaskID
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced {
+			saturators = append(saturators, p.Task)
+		}
+		return len(saturators) == 2
+	})
+
+	accepted := fillBacklog(t, svc, 2)
+	if accepted < 4 {
+		// 2 slots x factor 2: at least the ceiling's worth must be let in.
+		t.Fatalf("only %d tasks accepted before backpressure", accepted)
+	}
+	if st := svc.Stats(); st.Backlogged == 0 {
+		t.Fatal("refused submission not counted in Stats.Backlogged")
+	}
+
+	// SubmitWait must park while backlogged, then get through once the
+	// completer below drains the cluster.
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitWait(cluster.Batch, 0, make([]cluster.TaskSpec, 1))
+		waitDone <- err
+	}()
+	select {
+	case err := <-waitDone:
+		t.Fatalf("SubmitWait returned %v while backlogged", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Closed loop: release the slot-saturating tasks, then complete
+	// everything else as it is placed; the backlog drains, SubmitWait's
+	// job gets in and placed, and its task is completed like the rest.
+	for _, id := range saturators {
+		if err := svc.Complete(id); err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+	}
+	go func() {
+		for p := range events {
+			if p.Kind == core.DecisionPlaced {
+				svc.Complete(p.Task)
+			}
+		}
+	}()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("SubmitWait after drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SubmitWait still parked after the backlog drained")
+	}
+}
+
+// TestSubmitWaitUnblocksOnClose parks a SubmitWait caller on a saturated
+// service and checks Close hands it ErrClosed instead of stranding it.
+func TestSubmitWaitUnblocksOnClose(t *testing.T) {
+	svc, _ := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 1, SlotsPerMachine: 2},
+		Config{MaxPendingFactor: 1})
+	events, cancel := svc.Watch()
+	defer cancel()
+	if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 2)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	running := 0
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced {
+			running++
+		}
+		return running == 2
+	})
+	fillBacklog(t, svc, 2)
+
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitWait(cluster.Batch, 0, make([]cluster.TaskSpec, 1))
+		waitDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-waitDone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("SubmitWait after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SubmitWait not unblocked by Close")
+	}
+}
+
+// TestWatchChurn exercises the subscriber lifecycle under churn: many
+// goroutines subscribe, read, and cancel while the loop publishes, a job
+// feeder keeps decisions flowing, and the service closes mid-churn. Every
+// post-Close subscribe must hand back a closed channel, cancel must stay
+// safe after Close (including double cancel), and nothing may deadlock.
+// Run under -race.
+func TestWatchChurn(t *testing.T) {
+	svc, _ := newTestService(t,
+		cluster.Topology{Racks: 2, MachinesPerRack: 8, SlotsPerMachine: 4}, Config{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Feeder: closed-loop submissions so publications keep flowing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		events, cancel := svc.Watch()
+		defer cancel()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 4)); err != nil {
+				return // closed mid-churn
+			}
+			// Complete a few placements to keep slots free.
+			for i := 0; i < 4; i++ {
+				select {
+				case p, ok := <-events:
+					if !ok {
+						return
+					}
+					if p.Kind == core.DecisionPlaced {
+						svc.Complete(p.Task)
+					}
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}
+	}()
+
+	// Churners: subscribe, read a little, cancel — some twice, some after
+	// Close.
+	const churners = 8
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				events, cancel := svc.Watch()
+				// Read a few events (or give up quickly if closed/quiet).
+				for j := 0; j < 3; j++ {
+					select {
+					case _, ok := <-events:
+						if !ok {
+							j = 3 // channel closed by Close
+						}
+					case <-time.After(time.Millisecond):
+					}
+				}
+				cancel()
+				if round%3 == i%3 {
+					cancel() // double cancel must be a no-op
+				}
+			}
+		}(i)
+	}
+
+	// Let the churn run, then close the service in the middle of it.
+	time.Sleep(100 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close mid-churn: %v", err)
+	}
+
+	// Churners must still be able to subscribe and cancel after Close.
+	events, cancel := svc.Watch()
+	select {
+	case _, ok := <-events:
+		if ok {
+			t.Fatal("post-Close subscription delivered an event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-Close subscription channel not closed")
+	}
+	cancel()
+	cancel() // cancel-after-Close, twice
+
+	time.Sleep(50 * time.Millisecond) // let churners hit the post-Close paths too
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("churn goroutines failed to exit")
+	}
+}
+
 func TestServiceCloseSemantics(t *testing.T) {
 	svc, _ := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 2}, Config{})
 	events, cancel := svc.Watch()
