@@ -1,12 +1,22 @@
-// firmament-serve is a closed-loop load driver for the long-running
-// scheduling service: N concurrent submitters hammer the service's front
-// door, completing every task the moment it is placed, and the driver
-// reports the sustained placement throughput — aggregate and per submitter
-// — with latency percentiles. With the sharded front door, throughput
-// should hold as -submitters grows past 16 (the old single-lock collapse
-// point); the CI contention smoke runs `-submitters 32 -duration 2s` and
-// fails on a zero-placement or backlogged-deadlock outcome (the driver
-// exits non-zero on either).
+// firmament-serve is a closed-loop load driver and network server for the
+// long-running scheduling service. It runs in three modes:
+//
+//   - default: build an in-process service and hammer its front door from
+//     N concurrent submitters, completing every task the moment it is
+//     placed, and report sustained placement throughput — aggregate and
+//     per submitter — with latency percentiles. With the sharded front
+//     door, throughput should hold as -submitters grows past 16 (the old
+//     single-lock collapse point); the CI contention smoke runs
+//     `-submitters 32 -duration 2s` and fails on a zero-placement or
+//     backlogged-deadlock outcome (the driver exits non-zero on either).
+//
+//   - -listen addr: serve the HTTP/JSON front door (internal/api) over a
+//     fresh service and block until SIGINT/SIGTERM.
+//
+//   - -remote url: drive a front door served elsewhere — the same closed
+//     loop, but submissions, completions (batched), placements (streamed
+//     NDJSON) and stats all travel the network path. The CI network smoke
+//     pairs this with -listen and fails on zero placements.
 //
 // Usage:
 //
@@ -14,14 +24,21 @@
 //	firmament-serve -submitters 32 -duration 2s          # scaling mode: per-submitter rates
 //	firmament-serve -machines 256 -slots 16 -tasks-per-job 64 -mode relaxation
 //	firmament-serve -max-pending-factor 4                # backpressure: SubmitWait past 4x slots
+//	firmament-serve -listen 127.0.0.1:9090               # network server
+//	firmament-serve -remote http://127.0.0.1:9090 -submitters 8   # network load generator
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"firmament"
@@ -87,6 +104,105 @@ func (tr *jobTracker) finishLocked(j firmament.JobID) {
 	tr.done[j] = true
 }
 
+// door abstracts the front door the closed loop drives: the in-process
+// service or a remote one over HTTP. Both speak the same surface, so the
+// same driver measures either path.
+type door interface {
+	submit(class firmament.JobClass, priority, tasks int) (firmament.JobID, error)
+	complete(ids []firmament.TaskID) error
+	watch() (<-chan firmament.Placement, func(), error)
+	watchErr() error // abnormal watch-stream end, nil otherwise
+	stats() (firmament.APIStats, error)
+	close() error
+}
+
+// localDoor drives an in-process service.
+type localDoor struct {
+	svc  *firmament.SchedulerService
+	wait bool // park on backpressure (SubmitWait) instead of shedding
+}
+
+func (d *localDoor) submit(class firmament.JobClass, priority, tasks int) (firmament.JobID, error) {
+	f := d.svc.Submit
+	if d.wait {
+		f = d.svc.SubmitWait
+	}
+	job, err := f(class, priority, make([]firmament.TaskSpec, tasks))
+	if err != nil {
+		return 0, err
+	}
+	return job.ID, nil
+}
+
+func (d *localDoor) complete(ids []firmament.TaskID) error {
+	for _, id := range ids {
+		if err := d.svc.Complete(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *localDoor) watch() (<-chan firmament.Placement, func(), error) {
+	ch, cancel := d.svc.Watch()
+	return ch, cancel, nil
+}
+
+func (d *localDoor) watchErr() error { return nil } // in-process channels cannot corrupt
+
+func (d *localDoor) stats() (firmament.APIStats, error) {
+	return firmament.APIStatsFromService(d.svc.Stats()), nil
+}
+
+func (d *localDoor) close() error { return d.svc.Close() }
+
+// remoteDoor drives a front door across the network.
+type remoteDoor struct {
+	cli  *firmament.APIClient
+	wait bool
+	ws   *firmament.APIWatchStream
+}
+
+func (d *remoteDoor) submit(class firmament.JobClass, priority, tasks int) (firmament.JobID, error) {
+	var job *firmament.RemoteJob
+	var err error
+	if d.wait {
+		job, err = d.cli.SubmitWait(context.Background(), class, priority,
+			make([]firmament.TaskSpec, tasks))
+	} else {
+		job, err = d.cli.Submit(class, priority, make([]firmament.TaskSpec, tasks))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return job.ID, nil
+}
+
+func (d *remoteDoor) complete(ids []firmament.TaskID) error { return d.cli.CompleteBatch(ids) }
+
+func (d *remoteDoor) watch() (<-chan firmament.Placement, func(), error) {
+	ws, err := d.cli.Watch(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	d.ws = ws
+	return ws.C, ws.Cancel, nil
+}
+
+// watchErr reports an abnormal end of the placement stream (transport
+// failure, wire corruption), so a hung closed loop can name its real cause.
+func (d *remoteDoor) watchErr() error {
+	if d.ws == nil {
+		return nil
+	}
+	return d.ws.Err()
+}
+
+func (d *remoteDoor) stats() (firmament.APIStats, error) { return d.cli.Stats() }
+
+// close leaves the remote server running; the driver only detaches.
+func (d *remoteDoor) close() error { return nil }
+
 func main() {
 	var (
 		submitters  = flag.Int("submitters", 8, "concurrent closed-loop submitters")
@@ -101,8 +217,16 @@ func main() {
 		perSub = flag.Bool("per-submitter", true, "print per-submitter throughput")
 		mode   = flag.String("mode", "firmament",
 			"solver mode: firmament | relaxation | inc-cost-scaling | quincy")
+		listen = flag.String("listen", "",
+			"serve the HTTP front door on this address instead of driving load")
+		remote = flag.String("remote", "",
+			"drive a remote front door at this base URL instead of an in-process service")
 	)
 	flag.Parse()
+
+	if *listen != "" && *remote != "" {
+		log.Fatal("-listen and -remote are mutually exclusive")
+	}
 
 	if *perRack > *machines {
 		*perRack = *machines // small clusters: one partial rack, not a padded one
@@ -112,7 +236,6 @@ func main() {
 		MachinesPerRack: *perRack,
 		SlotsPerMachine: *slots,
 	}
-	cl := firmament.NewCluster(topo)
 
 	cfg := firmament.DefaultConfig()
 	m, ok := map[string]firmament.SolverMode{
@@ -125,63 +248,156 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 	cfg.Mode = m
+	scfg := firmament.ServiceConfig{RoundInterval: *interval, MaxPendingFactor: *pendingFac}
 
-	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg,
-		firmament.ServiceConfig{RoundInterval: *interval, MaxPendingFactor: *pendingFac})
+	if *listen != "" {
+		runServer(*listen, topo, cfg, scfg, *mode)
+		return
+	}
+
+	var d door
+	if *remote != "" {
+		cli := firmament.Dial(*remote)
+		if err := waitReady(cli, 10*time.Second); err != nil {
+			log.Fatalf("remote front door %s not ready: %v", *remote, err)
+		}
+		fmt.Printf("remote front door: %s\n", *remote)
+		d = &remoteDoor{cli: cli, wait: *pendingFac > 0}
+	} else {
+		cl := firmament.NewCluster(topo)
+		svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg, scfg)
+		fmt.Printf("cluster: %d machines in %d racks, %d slots, %d front-door shards\n",
+			cl.NumMachines(), cl.NumRacks(), cl.TotalSlots(), cl.NumShards())
+		d = &localDoor{svc: svc, wait: *pendingFac > 0}
+	}
+	fmt.Printf("driver: mode %s, %d submitters x %d tasks/job, round interval %v, max-pending-factor %g\n",
+		*mode, *submitters, *tasksPerJob, *interval, *pendingFac)
+
+	runDriver(d, *submitters, *tasksPerJob, *duration, *perSub)
+}
+
+// runServer serves the HTTP front door until SIGINT/SIGTERM, then closes
+// the service (ending watch streams and 503ing new work) and drains the
+// listener.
+func runServer(addr string, topo firmament.Topology, cfg firmament.Config,
+	scfg firmament.ServiceConfig, mode string) {
+	cl := firmament.NewCluster(topo)
+	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg, scfg)
+	srv := &http.Server{Addr: addr, Handler: firmament.NewAPIServer(svc)}
 
 	fmt.Printf("cluster: %d machines in %d racks, %d slots, %d front-door shards\n",
 		cl.NumMachines(), cl.NumRacks(), cl.TotalSlots(), cl.NumShards())
-	fmt.Printf("service: mode %s, %d submitters x %d tasks/job, round interval %v, max-pending-factor %g\n",
-		*mode, *submitters, *tasksPerJob, *interval, *pendingFac)
+	fmt.Printf("serving HTTP front door on %s (mode %s)\n", addr, mode)
 
-	// Collector: complete every task the moment it is placed (zero-length
-	// tasks — the driver measures scheduler throughput, not compute), and
-	// feed the tracker.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+		if err := svc.Close(); err != nil {
+			log.Printf("service error: %v", err)
+			defer os.Exit(1)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+// waitReady polls the remote stats endpoint until the server answers —
+// the network smoke starts server and driver concurrently.
+func waitReady(cli *firmament.APIClient, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		_, err := cli.Stats()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runDriver is the closed loop: N submitters push jobs through the door, a
+// collector completes every task the moment it is placed (batched through
+// one request on the network path), and the run is judged on the delta of
+// the door's stats.
+func runDriver(d door, submitters, tasksPerJob int, duration time.Duration, perSub bool) {
+	st0, err := d.stats()
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+
 	tracker := newJobTracker()
-	events, cancelWatch := svc.Watch()
+	events, cancelWatch, err := d.watch()
+	if err != nil {
+		log.Fatalf("watch: %v", err)
+	}
 	collectorDone := make(chan struct{})
 	go func() {
 		defer close(collectorDone)
-		for p := range events {
-			if p.Kind != firmament.DecisionPlaced {
-				continue
+		// Batch completions: on the network path one request completes a
+		// whole burst of placements instead of one round trip per task.
+		batch := make([]firmament.TaskID, 0, 256)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
 			}
-			if err := svc.Complete(p.Task); err != nil {
-				return // service closed
-			}
-			tracker.placed(p.Job, p.Task)
+			err := d.complete(batch)
+			batch = batch[:0]
+			return err == nil
 		}
+		for p := range events {
+			if p.Kind == firmament.DecisionPlaced {
+				batch = append(batch, p.Task)
+				tracker.placed(p.Job, p.Task)
+			}
+			if len(batch) >= 256 || len(events) == 0 {
+				if !flush() {
+					return // service closed
+				}
+			}
+		}
+		flush()
 	}()
 
-	// Submit through SubmitWait when backpressure is on (the closed loop
-	// should park, not shed); plain Submit otherwise.
-	submit := svc.Submit
-	if *pendingFac > 0 {
-		submit = svc.SubmitWait
-	}
-
 	start := time.Now()
-	deadline := start.Add(*duration)
-	jobsDone := make([]int, *submitters) // per-submitter fully placed jobs
+	deadline := start.Add(duration)
+	jobsDone := make([]int, submitters) // per-submitter fully placed jobs
 	var wg sync.WaitGroup
-	for i := 0; i < *submitters; i++ {
+	for i := 0; i < submitters; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				job, err := submit(firmament.Batch, 0,
-					make([]firmament.TaskSpec, *tasksPerJob))
+				jobID, err := d.submit(firmament.Batch, 0, tasksPerJob)
 				if err != nil {
+					// On the network path this can also be a transport
+					// failure or an unexpected 429 — say so instead of
+					// quietly thinning the offered load.
+					if !errors.Is(err, firmament.ErrServiceClosed) {
+						log.Printf("submitter %d stopping: %v", i, err)
+					}
 					return
 				}
 				// Watchdog: a dropped publication (slow collector) would
 				// otherwise hang the closed loop forever.
 				select {
-				case <-tracker.register(job.ID, *tasksPerJob):
+				case <-tracker.register(jobID, tasksPerJob):
 					jobsDone[i]++
 				case <-time.After(time.Minute):
+					if werr := d.watchErr(); werr != nil {
+						log.Fatalf("job %d not fully placed after 1m: watch stream failed: %v",
+							jobID, werr)
+					}
 					log.Fatalf("job %d not fully placed after 1m "+
-						"(placement events dropped? see DroppedPublications)", job.ID)
+						"(placement events dropped? see DroppedPublications)", jobID)
 				}
 			}
 		}(i)
@@ -189,43 +405,52 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	st := svc.Stats()
+	st, err := d.stats()
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
 	cancelWatch()
-	if err := svc.Close(); err != nil {
+	if err := d.close(); err != nil {
 		log.Printf("service error: %v", err)
 		defer os.Exit(1)
 	}
 	<-collectorDone
 
+	// Counters are deltas over the run (a remote server may carry history);
+	// the distribution summaries are cumulative server-side.
+	placed := st.Placed - st0.Placed
+	rounds := st.Rounds - st0.Rounds
 	ms := func(s float64) string { return fmt.Sprintf("%.2fms", s*1000) }
 	fmt.Printf("ran %.2fs: %d placements (%.0f tasks/sec), %d rounds (%.0f/sec)\n",
-		elapsed.Seconds(), st.Placed, float64(st.Placed)/elapsed.Seconds(),
-		st.Rounds, float64(st.Rounds)/elapsed.Seconds())
+		elapsed.Seconds(), placed, float64(placed)/elapsed.Seconds(),
+		rounds, float64(rounds)/elapsed.Seconds())
 	fmt.Printf("events/round: batch mean %.1f max %.0f; backlog at round end mean %.1f\n",
-		st.BatchSize.Mean(), st.BatchSize.Max(), st.QueueDepth.Mean())
+		st.BatchSize.Mean, st.BatchSize.Max, st.QueueDepth.Mean)
 	fmt.Printf("algorithm runtime: p50 %s p99 %s\n",
-		ms(st.AlgorithmRuntime.Percentile(50)), ms(st.AlgorithmRuntime.Percentile(99)))
+		ms(st.AlgorithmRuntime.P50), ms(st.AlgorithmRuntime.P99))
 	fmt.Printf("placement latency: p50 %s p99 %s max %s\n",
-		ms(st.PlacementLatency.Percentile(50)), ms(st.PlacementLatency.Percentile(99)),
-		ms(st.PlacementLatency.Max()))
-	if st.Backlogged > 0 {
-		fmt.Printf("backpressure: %d submissions refused or delayed\n", st.Backlogged)
+		ms(st.PlacementLatency.P50), ms(st.PlacementLatency.P99), ms(st.PlacementLatency.Max))
+	if n := st.Backlogged - st0.Backlogged; n > 0 {
+		fmt.Printf("backpressure: %d submissions refused or delayed\n", n)
 	}
-	if st.Migrated+st.Preempted+st.Stale() > 0 {
+	churn := (st.Migrated - st0.Migrated) + (st.Preempted - st0.Preempted) +
+		(st.StaleCompletions - st0.StaleCompletions) + (st.StaleDecisions - st0.StaleDecisions)
+	if churn > 0 {
 		fmt.Printf("churn: %d migrated, %d preempted, %d stale completions, %d stale decisions\n",
-			st.Migrated, st.Preempted, st.StaleCompletions, st.StaleDecisions)
+			st.Migrated-st0.Migrated, st.Preempted-st0.Preempted,
+			st.StaleCompletions-st0.StaleCompletions, st.StaleDecisions-st0.StaleDecisions)
 	}
-	if *perSub {
+	if perSub {
 		for i, n := range jobsDone {
-			tasks := n * *tasksPerJob
+			tasks := n * tasksPerJob
 			fmt.Printf("  submitter %2d: %6d jobs %8d tasks (%.0f tasks/sec)\n",
 				i, n, tasks, float64(tasks)/elapsed.Seconds())
 		}
 	}
 	// A load driver that placed nothing despite having submitters is a
-	// failure, not a quiet run — the CI contention smoke relies on this
-	// exit code. (-submitters 0 remains a clean zero-run.)
-	if *submitters > 0 && st.Placed == 0 {
+	// failure, not a quiet run — the CI smokes rely on this exit code.
+	// (-submitters 0 remains a clean zero-run.)
+	if submitters > 0 && placed == 0 {
 		log.Printf("FAIL: zero placements in %.2fs", elapsed.Seconds())
 		os.Exit(1)
 	}

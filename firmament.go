@@ -64,14 +64,24 @@
 //	cancel()
 //	svc.Close()
 //
+// The same front door is reachable over the network: ListenAndServe puts a
+// service behind an HTTP/JSON API (submit, complete, machine ops, stats,
+// and an NDJSON placement stream), and Dial returns a client that drives
+// it remotely with identical error semantics — backpressure surfaces as
+// HTTP 429 mapped back to ErrBacklogged, shutdown as 503 mapped to
+// ErrServiceClosed. See internal/api for the wire protocol.
+//
 // cmd/firmament-serve is a closed-loop load driver over this API: it
 // hammers a service from N concurrent submitters and reports sustained
-// placements/sec with latency percentiles.
+// placements/sec with latency percentiles. With -listen it serves the
+// network front door instead; with -remote it drives one, turning the
+// driver into a network load generator.
 package firmament
 
 import (
 	"time"
 
+	"firmament/internal/api"
 	"firmament/internal/baselines"
 	"firmament/internal/cluster"
 	"firmament/internal/core"
@@ -308,3 +318,45 @@ var (
 func NewService(cl *Cluster, model CostModel, cfg Config, scfg ServiceConfig) *SchedulerService {
 	return service.New(cl, model, cfg, scfg)
 }
+
+// Network front door (internal/api): the HTTP/JSON service API remote
+// submitters and machine agents drive, plus the Go client for it. This is
+// how a cluster manager integrates Firmament as its scheduler over the
+// network rather than in-process.
+type (
+	// APIServer is the HTTP/JSON front door over a scheduling service; it
+	// implements http.Handler.
+	APIServer = api.Server
+	// APIClient drives a remote front door with the same
+	// submit/complete/machine-ops/stats surface as SchedulerService.
+	APIClient = api.Client
+	// RemoteJob is the client's view of a submitted job: the allocated IDs.
+	RemoteJob = api.Job
+	// APIStats is the wire form of ServiceStats, with the sample
+	// distributions reduced to summaries.
+	APIStats = api.Stats
+	// APIWatchStream is a live remote placement subscription; after its C
+	// closes, Err distinguishes clean close from transport failure.
+	APIWatchStream = api.WatchStream
+)
+
+// NewAPIServer builds the HTTP front door over svc. Wrap it in an
+// http.Server (or call its ListenAndServe) to put the scheduler on the
+// network.
+func NewAPIServer(svc *SchedulerService) *APIServer { return api.NewServer(svc) }
+
+// ListenAndServe serves svc's front door on addr, blocking until the
+// listener fails. For graceful shutdown, use NewAPIServer with your own
+// http.Server.
+func ListenAndServe(addr string, svc *SchedulerService) error {
+	return api.NewServer(svc).ListenAndServe(addr)
+}
+
+// Dial connects to a remote front door at base (e.g.
+// "http://10.0.0.1:9090"). Remote Submit fails with ErrBacklogged on HTTP
+// 429 and ErrServiceClosed on 503, exactly like the in-process calls.
+func Dial(base string) *APIClient { return api.Dial(base) }
+
+// APIStatsFromService reduces a local service snapshot to the wire shape,
+// so local and remote tooling share one report format.
+func APIStatsFromService(st ServiceStats) APIStats { return api.StatsFromService(st) }

@@ -1,0 +1,295 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/service"
+)
+
+// Job is the client's view of a submitted job: the IDs the scheduler
+// allocated. Placement is asynchronous — stream Watch for it.
+type Job struct {
+	ID    cluster.JobID
+	Tasks []cluster.TaskID
+}
+
+// DefaultOpTimeout bounds each unary request (submit, complete, machine
+// ops, stats) so a stalled server surfaces as an error instead of a hang.
+// SubmitWait and Watch are exempt: both are intentionally long-lived.
+const DefaultOpTimeout = time.Minute
+
+// Client drives a remote Firmament front door over HTTP, exposing the same
+// submit/complete/machine-ops/stats surface as the in-process service. It
+// is safe for concurrent use; connections are pooled and reused across
+// requests, so a closed-loop submitter pays one TCP setup, not one per
+// call.
+type Client struct {
+	base string
+	hc   *http.Client
+	// OpTimeout bounds each unary request; zero disables the bound.
+	// Adjust it before the first request, not concurrently with use.
+	OpTimeout time.Duration
+}
+
+// Dial builds a client for a front door at base (e.g.
+// "http://10.0.0.1:9090"). The underlying transport keeps idle connections
+// to the scheduler open so concurrent submitters reuse them.
+func Dial(base string) *Client {
+	return NewClient(base, &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
+	}})
+}
+
+// NewClient is Dial with a caller-supplied http.Client (custom transport,
+// TLS, instrumentation). hc must not impose a client-wide timeout if
+// SubmitWait or Watch are used — both are intentionally long-lived
+// requests; unary calls are already bounded by OpTimeout.
+func NewClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, OpTimeout: DefaultOpTimeout}
+}
+
+// apiError is a server-reported failure that carries no typed sentinel:
+// validation failures and unexpected statuses.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("api: server returned %d: %s", e.status, e.msg)
+}
+
+// errorFromStatus maps an HTTP failure back to the front-door sentinel the
+// in-process API returns, so errors.Is(err, service.ErrBacklogged) and
+// errors.Is(err, service.ErrClosed) work identically for remote callers.
+func errorFromStatus(status int, msg string) error {
+	switch status {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("api: %s: %w", msg, service.ErrBacklogged)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("api: %s: %w", msg, service.ErrClosed)
+	default:
+		return &apiError{status: status, msg: msg}
+	}
+}
+
+// opCtx returns a context bounded by OpTimeout (unbounded when zero).
+func (c *Client) opCtx() (context.Context, context.CancelFunc) {
+	if c.OpTimeout > 0 {
+		return context.WithTimeout(context.Background(), c.OpTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// do performs one JSON request/response round trip bounded by OpTimeout.
+// in and out may be nil.
+func (c *Client) do(method, path string, in, out any) error {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return c.doCtx(ctx, method, path, in, out)
+}
+
+// doCtx is do under a caller-supplied context (SubmitWait passes an
+// unbounded one: it parks server-side by design).
+func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		var envelope errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+			envelope.Error = resp.Status
+		}
+		return errorFromStatus(resp.StatusCode, envelope.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("api: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Client) submit(ctx context.Context, path string, class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*Job, error) {
+	req := SubmitRequest{Class: classToWire(class), Priority: priority,
+		Tasks: make([]TaskSpec, len(specs))}
+	for i, s := range specs {
+		req.Tasks[i] = specToWire(s)
+	}
+	var resp SubmitResponse
+	if err := c.doCtx(ctx, http.MethodPost, path, req, &resp); err != nil {
+		return nil, err
+	}
+	return &Job{ID: resp.Job, Tasks: resp.Tasks}, nil
+}
+
+// Submit registers a job with one task per spec — one request however many
+// tasks the job carries. It fails with service.ErrBacklogged (HTTP 429)
+// when the scheduler's admission ceiling is exceeded.
+func (c *Client) Submit(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*Job, error) {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return c.submit(ctx, "/v1/jobs", class, priority, specs)
+}
+
+// SubmitWait is Submit that blocks server-side while the scheduler is
+// backlogged instead of failing with 429. The request stays open until the
+// backlog drains, the service closes (service.ErrClosed), or ctx ends —
+// on a context end the server releases the parked admission without
+// submitting.
+func (c *Client) SubmitWait(ctx context.Context, class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*Job, error) {
+	return c.submit(ctx, "/v1/jobs?wait=1", class, priority, specs)
+}
+
+// Complete reports one task completion.
+func (c *Client) Complete(id cluster.TaskID) error {
+	return c.do(http.MethodPost, fmt.Sprintf("/v1/tasks/%d/complete", id), nil, nil)
+}
+
+// CompleteBatch reports many task completions in one request — the
+// high-throughput path for closed-loop drivers that complete every
+// placement.
+func (c *Client) CompleteBatch(ids []cluster.TaskID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	return c.do(http.MethodPost, "/v1/tasks/complete", CompleteRequest{Tasks: ids}, nil)
+}
+
+// RemoveMachine queues a machine failure.
+func (c *Client) RemoveMachine(id cluster.MachineID) error {
+	return c.do(http.MethodPost, fmt.Sprintf("/v1/machines/%d/remove", id), nil, nil)
+}
+
+// RestoreMachine queues the return of a failed machine.
+func (c *Client) RestoreMachine(id cluster.MachineID) error {
+	return c.do(http.MethodPost, fmt.Sprintf("/v1/machines/%d/restore", id), nil, nil)
+}
+
+// Stats fetches a point-in-time snapshot of the scheduler's counters and
+// distribution summaries.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.do(http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// WatchStream is a live placement subscription. C carries every decision
+// the server-side subscriber keeps up with (slow readers lose events
+// server-side, never stall the scheduler) and closes when the stream ends:
+// service close, cancel, connection loss, or wire corruption. After C
+// closes, Err distinguishes the clean endings from the failures.
+type WatchStream struct {
+	// C delivers the decoded placements until the stream ends.
+	C <-chan service.Placement
+
+	cancel func()
+	errMu  sync.Mutex
+	err    error
+}
+
+// Cancel tears the stream down; C closes shortly after. Callers must
+// eventually call it (it is idempotent).
+func (w *WatchStream) Cancel() { w.cancel() }
+
+// Err reports why the stream ended: nil for the clean endings (service
+// close or Cancel), the transport or decode failure otherwise — so a
+// severed connection or corrupt wire data is distinguishable from an
+// orderly shutdown. Valid after C closes.
+func (w *WatchStream) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+func (w *WatchStream) setErr(err error) {
+	w.errMu.Lock()
+	w.err = err
+	w.errMu.Unlock()
+}
+
+// Watch subscribes to the placement stream until the returned stream is
+// canceled, ctx ends, or the service closes.
+func (c *Client) Watch(ctx context.Context) (*WatchStream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/watch", nil)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("api: building watch request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("api: opening watch stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+			envelope.Error = resp.Status
+		}
+		resp.Body.Close()
+		cancel()
+		return nil, errorFromStatus(resp.StatusCode, envelope.Error)
+	}
+	ch := make(chan service.Placement, 4096)
+	w := &WatchStream{C: ch, cancel: cancel}
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var wp Placement
+			if err := dec.Decode(&wp); err != nil {
+				// EOF is the server ending the stream (service close);
+				// a canceled context is the caller hanging up. Anything
+				// else is a real transport failure worth surfacing.
+				if !errors.Is(err, io.EOF) && ctx.Err() == nil {
+					w.setErr(fmt.Errorf("api: watch stream: %w", err))
+				}
+				return
+			}
+			p, err := wp.toService()
+			if err != nil {
+				w.setErr(fmt.Errorf("api: watch stream: %w", err))
+				return
+			}
+			select {
+			case ch <- p:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return w, nil
+}

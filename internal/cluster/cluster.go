@@ -319,8 +319,15 @@ func (c *Cluster) NumMachines() int { return len(c.machines) }
 // NumRacks returns the rack count.
 func (c *Cluster) NumRacks() int { return len(c.racks) }
 
-// Machine returns the machine with the given ID.
-func (c *Cluster) Machine(id MachineID) *Machine { return c.machines[id] }
+// Machine returns the machine with the given ID, or nil if no such
+// machine exists. IDs arrive from remote clients, so out-of-range values
+// must be answerable, not a panic.
+func (c *Cluster) Machine(id MachineID) *Machine {
+	if id < 0 || int(id) >= len(c.machines) {
+		return nil
+	}
+	return c.machines[id]
+}
 
 // Machines calls fn for every machine in ID order, holding the machine
 // lock: fn sees a consistent snapshot of each machine's occupancy but must
@@ -333,12 +340,23 @@ func (c *Cluster) Machines(fn func(*Machine)) {
 	}
 }
 
-// RackMachines returns the machine IDs in a rack. The returned slice must
-// not be modified.
-func (c *Cluster) RackMachines(r RackID) []MachineID { return c.racks[r] }
+// RackMachines returns the machine IDs in a rack, or nil for an unknown
+// rack. The returned slice must not be modified.
+func (c *Cluster) RackMachines(r RackID) []MachineID {
+	if r < 0 || int(r) >= len(c.racks) {
+		return nil
+	}
+	return c.racks[r]
+}
 
-// RackOf returns the rack of a machine.
-func (c *Cluster) RackOf(id MachineID) RackID { return c.machines[id].Rack }
+// RackOf returns the rack of a machine, or -1 for an unknown machine.
+func (c *Cluster) RackOf(id MachineID) RackID {
+	m := c.Machine(id)
+	if m == nil {
+		return -1
+	}
+	return m.Rack
+}
 
 // Task returns the task with the given ID, or nil.
 func (c *Cluster) Task(id TaskID) *Task {
@@ -560,17 +578,23 @@ func (c *Cluster) Complete(id TaskID, now time.Duration) error {
 	return nil
 }
 
-// JobDone reports whether all tasks of the job have completed.
+// JobDone reports whether all tasks of the job have completed. An unknown
+// job is not done: remote clients can probe arbitrary IDs, so the lookup
+// must answer rather than panic.
 func (c *Cluster) JobDone(id JobID) bool {
 	sh := c.jobShard(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.jobs[id].remaining == 0
+	j, ok := sh.jobs[id]
+	return ok && j.remaining == 0
 }
 
 // RemoveMachine marks a machine unhealthy and evicts its tasks back to
 // pending, emitting EventMachineRemoved plus one EventTaskEvicted per task.
 func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
+	if id < 0 || int(id) >= len(c.machines) {
+		return // unknown machine: nothing to remove
+	}
 	c.machMu.Lock()
 	m := c.machines[id]
 	if !m.healthy {
@@ -621,6 +645,9 @@ func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
 
 // RestoreMachine returns an unhealthy machine to service.
 func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
+	if id < 0 || int(id) >= len(c.machines) {
+		return // unknown machine: nothing to restore
+	}
 	c.machMu.Lock()
 	m := c.machines[id]
 	if m.healthy {

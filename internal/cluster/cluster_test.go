@@ -393,3 +393,60 @@ func TestConcurrentSubmission(t *testing.T) {
 		t.Fatalf("unique task IDs = %d, want %d", len(seen), total)
 	}
 }
+
+// TestUnknownIDAccessors probes every accessor and mutator with IDs the
+// cluster has never issued — exactly what a remote front door can relay
+// from a buggy or malicious client. None may panic; lookups answer with
+// their zero result and mutators reject or no-op.
+func TestUnknownIDAccessors(t *testing.T) {
+	c := New(testTopo()) // 6 machines, jobs 0..n as submitted
+	job := c.SubmitJob(Batch, 0, 0, []TaskSpec{{}, {}})
+
+	t.Run("lookups", func(t *testing.T) {
+		cases := []struct {
+			name string
+			got  any
+			want any
+		}{
+			{"Job(unknown)", c.Job(9999) == nil, true},
+			{"Job(negative)", c.Job(-7) == nil, true},
+			{"Task(unknown job)", c.Task(taskID(9999, 0)) == nil, true},
+			{"Task(unknown index)", c.Task(taskID(job.ID, 99)) == nil, true},
+			{"Task(negative)", c.Task(-1) == nil, true},
+			{"JobDone(unknown)", c.JobDone(4242), false},
+			{"JobDone(negative)", c.JobDone(-1), false},
+			{"JobDone(known, unfinished)", c.JobDone(job.ID), false},
+			{"Machine(out of range)", c.Machine(MachineID(c.NumMachines())) == nil, true},
+			{"Machine(negative)", c.Machine(-3) == nil, true},
+			{"RackOf(unknown)", c.RackOf(999), RackID(-1)},
+			{"RackMachines(unknown)", c.RackMachines(99) == nil, true},
+			{"RackMachines(negative)", c.RackMachines(-1) == nil, true},
+		}
+		for _, tc := range cases {
+			if tc.got != tc.want {
+				t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+			}
+		}
+	})
+
+	t.Run("mutators", func(t *testing.T) {
+		if err := c.Place(taskID(555, 3), 0, 0); err == nil {
+			t.Error("Place of unknown task succeeded")
+		}
+		if err := c.Complete(taskID(555, 3), 0); err == nil {
+			t.Error("Complete of unknown task succeeded")
+		}
+		if err := c.Preempt(-42, 0); err == nil {
+			t.Error("Preempt of unknown task succeeded")
+		}
+		// Out-of-range machine ops must no-op, not panic, and must not
+		// disturb the healthy-slot aggregate.
+		slots := c.TotalSlots()
+		c.RemoveMachine(MachineID(c.NumMachines()), 0)
+		c.RemoveMachine(-1, 0)
+		c.RestoreMachine(9999, 0)
+		if c.TotalSlots() != slots {
+			t.Errorf("TotalSlots = %d after unknown-machine ops, want %d", c.TotalSlots(), slots)
+		}
+	})
+}

@@ -81,6 +81,12 @@ type RoundStats struct {
 	ExtractTime time.Duration // placement extraction (Listing 1)
 	Tasks       int64         // tasks in the graph during the solve
 	Changes     int           // graph changes applied since last round
+	// Events is the number of cluster events this round's graph update
+	// actually drained and folded in. The serving layer derives round
+	// progress from it: a queue-depth read taken before the drain can miss
+	// events that arrive in between, misclassifying a productive round as
+	// idle.
+	Events int
 }
 
 // AlgorithmRuntime is the solver runtime — the quantity the paper's
@@ -95,7 +101,7 @@ func (st RoundStats) AlgorithmRuntime() time.Duration { return st.Pool.Algorithm
 // simulation time) to enact the decisions.
 func (s *Scheduler) Schedule(now time.Duration) (*Round, error) {
 	t0 := time.Now()
-	s.gm.ApplyClusterEvents()
+	nevents := s.gm.ApplyClusterEvents()
 	s.gm.UpdateRound(now)
 	updateTime := time.Since(t0)
 
@@ -119,6 +125,7 @@ func (s *Scheduler) Schedule(now time.Duration) (*Round, error) {
 			ExtractTime: extractTime,
 			Tasks:       s.gm.NumTasks(),
 			Changes:     nchanges,
+			Events:      nevents,
 		},
 	}, nil
 }

@@ -39,6 +39,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -177,6 +178,20 @@ type Service struct {
 	doneCh   chan struct{}
 	stopOnce sync.Once
 	closed   atomic.Bool
+	// closeMu serializes the closed transition against in-flight front-door
+	// registrations: submit and enqueue hold the read side while they
+	// re-check closed and register work, and every closed.Store(true)
+	// happens under the write side. Without it, a submitter that passed the
+	// entry check could register a job after the loop exited — handing the
+	// caller a handle that will never be scheduled.
+	closeMu sync.RWMutex
+
+	// Test hooks (nil in production): testHookSubmit runs at the top of
+	// submit, before the close guard; testHookBeforeSchedule runs in
+	// runRound between the op drain and the scheduling computation. Both
+	// widen race windows deterministically for regression tests.
+	testHookSubmit         func()
+	testHookBeforeSchedule func()
 
 	runErrMu sync.Mutex
 	runErr   error
@@ -204,6 +219,14 @@ type Service struct {
 // New builds a scheduling service over cl with the given policy and solver
 // configuration and starts its scheduling loop. Call Close to stop it.
 func New(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg Config) *Service {
+	s := newService(cl, model, schedCfg, cfg)
+	go s.loop()
+	return s
+}
+
+// newService builds the service without starting the scheduling loop.
+// Tests drive rounds by hand through runRound; production code uses New.
+func newService(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -227,7 +250,6 @@ func New(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg 
 		s.opShards[i] = &opShard{}
 	}
 	s.bpCond = sync.NewCond(&s.bpMu)
-	go s.loop()
 	return s
 }
 
@@ -282,8 +304,32 @@ func (s *Service) Submit(class cluster.JobClass, priority int, specs []cluster.T
 // pending backlog below the ceiling, then submits. It returns ErrClosed if
 // the service closes while waiting.
 func (s *Service) SubmitWait(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
+	return s.SubmitWaitCtx(context.Background(), class, priority, specs)
+}
+
+// SubmitWaitCtx is SubmitWait bounded by a context: if ctx ends while the
+// call is parked on the backlog, it returns ctx's error without submitting.
+// A network front door passes the request context here so an abandoned
+// connection releases its parked handler instead of submitting an orphan
+// job nobody owns once the backlog drains.
+func (s *Service) SubmitWaitCtx(ctx context.Context, class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
+	if done := ctx.Done(); done != nil {
+		// Wake the condition wait when the context ends; the loop below
+		// re-checks ctx before anything else.
+		stop := context.AfterFunc(ctx, func() {
+			s.bpMu.Lock()
+			s.bpCond.Broadcast()
+			s.bpMu.Unlock()
+		})
+		defer stop()
+	}
 	s.bpMu.Lock()
+	counted := false // one blocked call is one delayed admission, however many wakeups re-check
 	for {
+		if err := ctx.Err(); err != nil {
+			s.bpMu.Unlock()
+			return nil, err
+		}
 		if s.closed.Load() {
 			s.bpMu.Unlock()
 			return nil, ErrClosed
@@ -291,7 +337,10 @@ func (s *Service) SubmitWait(class cluster.JobClass, priority int, specs []clust
 		if !s.backlogged() {
 			break
 		}
-		s.refused.Add(1)
+		if !counted {
+			s.refused.Add(1)
+			counted = true
+		}
 		s.bpCond.Wait()
 	}
 	s.bpMu.Unlock()
@@ -299,6 +348,18 @@ func (s *Service) SubmitWait(class cluster.JobClass, priority int, specs []clust
 }
 
 func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
+	if s.testHookSubmit != nil {
+		s.testHookSubmit()
+	}
+	// Re-check closed under the read guard: Close (and loop death) store
+	// closed under the write side, so a submitter that gets past this check
+	// finishes registering before the closed transition completes — no job
+	// can land in the cluster after the service reports itself closed.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	job := s.cl.SubmitJob(class, priority, s.now(), specs)
 	s.submitted.Add(int64(len(specs)))
 	s.wake()
@@ -330,6 +391,11 @@ func (s *Service) RestoreMachine(id cluster.MachineID) error {
 }
 
 func (s *Service) enqueue(key int64, o op) error {
+	// Same close guard as submit: an op accepted with a nil error must have
+	// been enqueued before the closed transition, never silently dropped by
+	// a loop that already exited.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -417,7 +483,13 @@ func (s *Service) Watch() (<-chan Placement, func()) {
 // any. Close is idempotent, and wakes any SubmitWait callers with ErrClosed.
 func (s *Service) Close() error {
 	s.stopOnce.Do(func() {
+		// The write lock waits out every in-flight submit/enqueue holding
+		// the read side: once it is acquired, no front-door registration
+		// straddles the closed transition, and everything registered before
+		// it happened-before the loop's exit.
+		s.closeMu.Lock()
 		s.closed.Store(true)
+		s.closeMu.Unlock()
 		close(s.stopCh)
 	})
 	s.wakeWaiters() // unpark SubmitWait callers
@@ -475,7 +547,9 @@ func (s *Service) loop() {
 			s.runErrMu.Lock()
 			s.runErr = fmt.Errorf("service: scheduling round %d: %w", s.rounds.Load(), err)
 			s.runErrMu.Unlock()
+			s.closeMu.Lock() // same guarded transition as Close
 			s.closed.Store(true)
+			s.closeMu.Unlock()
 			return
 		}
 		// A round's placements drain the pending backlog: let any parked
@@ -542,15 +616,23 @@ func (s *Service) runRound() (progress bool, err error) {
 		}
 	}
 
-	// Batch size: cluster events this round's graph update will fold in
-	// (submissions logged since the last round plus the ops just applied).
-	batchEvents := s.cl.NumQueuedEvents()
-	s.batchSize.Add(float64(batchEvents))
+	if s.testHookBeforeSchedule != nil {
+		s.testHookBeforeSchedule()
+	}
 
 	r, err := s.sched.Schedule(now)
 	if err != nil {
 		return false, err
 	}
+	// Batch size: cluster events the graph update actually folded in
+	// (submissions logged since the last round plus the ops just applied).
+	// This is the drained count reported by the update itself — a
+	// queue-depth read taken before the drain would miss events that arrive
+	// in the window between read and drain, and a round that folded them in
+	// would be misclassified as idle, triggering exponential backoff while
+	// work was actually done.
+	batchEvents := r.Stats.Events
+	s.batchSize.Add(float64(batchEvents))
 
 	applyNow := s.now()
 	decisions := make([]Placement, 0, len(r.Mappings))

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -522,5 +523,237 @@ func TestServiceCloseSemantics(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("watch channel not closed by Close")
+	}
+}
+
+// countJobs snapshots the number of jobs registered in the cluster tables.
+func countJobs(cl *cluster.Cluster) int {
+	n := 0
+	cl.Jobs(func(*cluster.Job) { n++ })
+	return n
+}
+
+// TestSubmitCloseRace pins the front-door/Close race deterministically: a
+// submitter that has passed Submit's entry check but not yet registered its
+// job must observe a concurrent Close and return ErrClosed — never register
+// the job in the cluster after the loop exited and hand back a handle that
+// will never be scheduled.
+func TestSubmitCloseRace(t *testing.T) {
+	cl := cluster.New(cluster.Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 2})
+	svc := New(cl, policy.NewLoadSpread(cl), core.DefaultConfig(),
+		Config{RoundInterval: 200 * time.Microsecond})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc.testHookSubmit = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 4))
+		got <- err
+	}()
+
+	<-entered // the submitter is past the entry check, about to register
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(release) // now let the submitter try to register
+
+	if err := <-got; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit that raced Close returned %v, want ErrClosed", err)
+	}
+	if n := countJobs(cl); n != 0 {
+		t.Fatalf("%d job(s) registered in the cluster after Close", n)
+	}
+	if cl.NumPending() != 0 || cl.NumQueuedEvents() != 0 {
+		t.Fatalf("post-Close cluster state: %d pending, %d queued events, want 0/0",
+			cl.NumPending(), cl.NumQueuedEvents())
+	}
+}
+
+// TestSubmitCloseRaceStress hammers Submit from several goroutines while
+// Close lands, and checks the invariant the deterministic test pins: the
+// cluster's job tables must not grow after Close has returned.
+func TestSubmitCloseRaceStress(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		cl := cluster.New(cluster.Topology{Racks: 1, MachinesPerRack: 4, SlotsPerMachine: 8})
+		svc := New(cl, policy.NewLoadSpread(cl), core.DefaultConfig(),
+			Config{RoundInterval: 100 * time.Microsecond})
+
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 2)); err != nil {
+						return // ErrClosed ends the loop
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(iter%5) * 100 * time.Microsecond)
+		if err := svc.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		atClose := countJobs(cl)
+		wg.Wait()
+		if after := countJobs(cl); after != atClose {
+			t.Fatalf("iteration %d: job table grew from %d to %d after Close returned",
+				iter, atClose, after)
+		}
+	}
+}
+
+// TestSubmitWaitBackloggedCountedOnce parks one SubmitWait caller on a
+// saturated service and lets the scheduling loop broadcast many wakeups
+// while the backlog persists: the blocked call must count exactly once in
+// Stats.Backlogged, not once per wakeup re-check.
+func TestSubmitWaitBackloggedCountedOnce(t *testing.T) {
+	svc, _ := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 1, SlotsPerMachine: 2},
+		Config{MaxPendingFactor: 2, IdleInterval: 2 * time.Millisecond})
+	events, cancel := svc.Watch()
+	defer cancel()
+
+	// Saturate both slots so nothing further can be placed.
+	if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 2)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	running := 0
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced {
+			running++
+		}
+		return running == 2
+	})
+	fillBacklog(t, svc, 2)
+	base := svc.Stats().Backlogged
+
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitWait(cluster.Batch, 0, make([]cluster.TaskSpec, 1))
+		waitDone <- err
+	}()
+	// Wait until the blocked call has registered as one delayed admission.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().Backlogged < base+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked SubmitWait never counted in Stats.Backlogged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The loop keeps re-solving the saturated cluster (idle backoff capped
+	// at 2ms) and broadcasts after every round, so the parked caller
+	// re-checks the backlog many times during this window.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-waitDone:
+		t.Fatalf("SubmitWait returned %v while still backlogged", err)
+	default:
+	}
+	if got := svc.Stats().Backlogged; got != base+1 {
+		t.Fatalf("Stats.Backlogged = %d after wakeup re-checks, want %d (one per blocked call)",
+			got, base+1)
+	}
+}
+
+// TestRoundProgressCountsWindowEvents drives rounds by hand on a loopless
+// service: a submission that lands in the window between the round's op
+// drain and the graph update's event drain is folded into that round, so
+// the round must report progress — the pre-fix queue-depth read taken
+// before the drain missed such events and triggered exponential backoff
+// while work was actually done.
+func TestRoundProgressCountsWindowEvents(t *testing.T) {
+	cl := cluster.New(cluster.Topology{Racks: 1, MachinesPerRack: 1, SlotsPerMachine: 1})
+	svc := newService(cl, policy.NewLoadSpread(cl), core.DefaultConfig(), Config{})
+
+	if _, err := svc.submit(cluster.Batch, 0, make([]cluster.TaskSpec, 1)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	progress, err := svc.runRound()
+	if err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+	if !progress {
+		t.Fatal("round that placed a task reported no progress")
+	}
+
+	// The cluster's only slot is now occupied. Land a second submission in
+	// the drain window: it cannot be placed, so the round enacts no
+	// decisions — progress must come from the folded-in event itself.
+	svc.testHookBeforeSchedule = func() {
+		svc.testHookBeforeSchedule = nil
+		if _, err := svc.submit(cluster.Batch, 0, make([]cluster.TaskSpec, 1)); err != nil {
+			t.Errorf("in-window submit: %v", err)
+		}
+	}
+	progress, err = svc.runRound()
+	if err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+	if !progress {
+		t.Fatal("round that folded in a drain-window submission reported no progress")
+	}
+
+	// With nothing new, the next round really is idle: backoff may engage.
+	progress, err = svc.runRound()
+	if err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+	if progress {
+		t.Fatal("round with no events and no decisions reported progress")
+	}
+}
+
+// TestSubmitWaitCtxCanceled parks a context-bounded SubmitWait on a
+// saturated service and cancels the context: the call must return promptly
+// with the context's error and never submit the job — the network front
+// door relies on this to release handlers whose clients hung up.
+func TestSubmitWaitCtxCanceled(t *testing.T) {
+	svc, cl := newTestService(t, cluster.Topology{Racks: 1, MachinesPerRack: 1, SlotsPerMachine: 2},
+		Config{MaxPendingFactor: 1})
+	events, cancelWatch := svc.Watch()
+	defer cancelWatch()
+	if _, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 2)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	running := 0
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced {
+			running++
+		}
+		return running == 2
+	})
+	fillBacklog(t, svc, 2)
+	pendingBefore := cl.NumPending()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitWaitCtx(ctx, cluster.Batch, 0, make([]cluster.TaskSpec, 1))
+		waitDone <- err
+	}()
+	select {
+	case err := <-waitDone:
+		t.Fatalf("SubmitWaitCtx returned %v while backlogged", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-waitDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("SubmitWaitCtx after cancel: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SubmitWaitCtx not released by context cancellation")
+	}
+	if got := cl.NumPending(); got != pendingBefore {
+		t.Fatalf("canceled SubmitWaitCtx changed pending from %d to %d", pendingBefore, got)
 	}
 }
