@@ -19,6 +19,9 @@ import (
 // once — a single pass over the graph (paper §6.3).
 func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID {
 	g := gm.g
+	// Extraction runs right after a solve, so the compact index is already
+	// repaired; iterating rows here is free and cache-friendly.
+	adj := g.Adjacency()
 	mappings := make(map[cluster.TaskID]cluster.MachineID, gm.numTasks)
 	// Tokens waiting at each node to be attributed to incoming flow.
 	tokens := make(map[flow.NodeID][]cluster.MachineID)
@@ -68,7 +71,10 @@ func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID
 		// Visit incoming arcs: the in-arcs of node are the reverse partners
 		// of its adjacency entries. Move as many tokens to each arc's
 		// source as that arc carries unattributed flow.
-		for b := g.FirstOut(node); b != flow.InvalidArc && len(ts) > 0; b = g.NextOut(b) {
+		for _, b := range adj.Out(node) {
+			if len(ts) == 0 {
+				break
+			}
 			in := g.Reverse(b)
 			if !g.IsForward(in) {
 				continue // b itself is the forward arc out of node

@@ -1,0 +1,213 @@
+package flow
+
+// This file implements the compact adjacency index: a CSR-style snapshot of
+// the residual adjacency that solvers iterate instead of chasing the
+// doubly-linked arc list. The linked list (graph.go) remains the mutable
+// source of truth; the index is a cache-friendly projection of it that the
+// graph repairs lazily, one dirty row at a time.
+//
+// Why it exists: every MCMF hot loop visits the out-arcs of a node many
+// times per solve. The linked list serializes those visits behind dependent
+// loads (each next pointer must arrive before the following arc can be
+// fetched), while a contiguous []ArcID row lets the CPU pipeline and
+// prefetch the arc records. Real MCMF codes (cs2, LEMON) store adjacency
+// this way for exactly this reason.
+//
+// Invalidation rules: AddNode, AddArc, RemoveArc and RemoveNode mark only
+// the rows of the touched tails dirty (an arc pair appears in two rows: the
+// forward arc in the tail's, the reverse partner in the head's). Adjacency()
+// rebuilds just the dirty rows from the linked list, so a steady-state
+// scheduling round with a small ChangeSet pays O(changed rows), not O(M).
+// Rows carry a little slack so that modest degree growth repairs in place;
+// a row that outgrows its slot relocates to the end of the backing array,
+// and when relocation waste exceeds half the array the whole index is
+// rebuilt compactly. Non-structural mutations (Push, SetArcCost,
+// SetArcCapacity, SetSupply, SetPotential) never touch the index.
+//
+// Rows list arcs in linked-list order, so solvers iterate arcs in exactly
+// the order FirstOut/NextOut would have produced and results are bitwise
+// identical to the pointer-chasing implementation.
+
+// Adjacency is a read-only compact view of the residual adjacency, obtained
+// from Graph.Adjacency. It stays valid until the next structural mutation
+// (arc or node add/remove) on the owning graph; flow pushes and cost,
+// capacity, supply or potential updates do not invalidate it. The view
+// aliases graph-owned storage and must not be mutated.
+type Adjacency struct {
+	start []int32
+	deg   []int32
+	ids   []ArcID
+}
+
+// Out returns the arcs (forward and residual) leaving n as a contiguous
+// slice, in the same order FirstOut/NextOut iterates them. The slice aliases
+// index storage: read-only, valid until the next structural mutation.
+func (a *Adjacency) Out(n NodeID) []ArcID {
+	s := a.start[n]
+	e := s + a.deg[n]
+	return a.ids[s:e:e]
+}
+
+// Degree returns the residual out-degree of n (forward plus reverse arcs).
+func (a *Adjacency) Degree(n NodeID) int { return int(a.deg[n]) }
+
+// adjIndex is the graph-embedded state behind Adjacency views.
+type adjIndex struct {
+	built   bool
+	start   []int32 // per node: first slot of the node's row in ids
+	deg     []int32 // per node: live row length
+	room    []int32 // per node: allocated row capacity (>= deg)
+	ids     []ArcID // backing row storage
+	holes   int     // slots orphaned by row relocations
+	isDirty []bool
+	dirty   []NodeID
+}
+
+// Adjacency returns the compact adjacency index, first repairing any rows
+// whose linked-list adjacency changed since the last call. The first call
+// after graph construction builds the full index; subsequent calls cost
+// O(total degree of dirty rows).
+func (g *Graph) Adjacency() Adjacency {
+	a := &g.adj
+	if !a.built {
+		g.adjRebuild()
+	} else if len(a.dirty) > 0 {
+		g.adjRepair()
+		if a.holes*2 > len(a.ids) {
+			g.adjRebuild()
+		}
+	}
+	return Adjacency{start: a.start, deg: a.deg, ids: a.ids}
+}
+
+// adjTouch marks node n's row dirty. Called by every structural mutation;
+// a no-op until the index is first built, so graph construction pays
+// nothing for the index it has not asked for yet.
+func (g *Graph) adjTouch(n NodeID) {
+	a := &g.adj
+	if !a.built {
+		return
+	}
+	if int(n) >= len(a.isDirty) {
+		a.growNodes(len(g.nodes))
+	}
+	if !a.isDirty[n] {
+		a.isDirty[n] = true
+		a.dirty = append(a.dirty, n)
+	}
+}
+
+// growNodes extends the per-node arrays to cover n nodes; new rows are
+// empty with no reserved slots (their first repair relocates them).
+func (a *adjIndex) growNodes(n int) {
+	for len(a.start) < n {
+		a.start = append(a.start, int32(len(a.ids)))
+		a.deg = append(a.deg, 0)
+		a.room = append(a.room, 0)
+		a.isDirty = append(a.isDirty, false)
+	}
+}
+
+// rowSlack is the spare capacity reserved per row so small degree growth
+// repairs in place instead of relocating the row.
+func rowSlack(deg int32) int32 { return deg/4 + 2 }
+
+// adjRebuild constructs the full index from the linked lists, compacting
+// away any relocation holes.
+func (g *Graph) adjRebuild() {
+	a := &g.adj
+	n := len(g.nodes)
+	a.start = grownI32(a.start, n)
+	a.deg = grownI32(a.deg, n)
+	a.room = grownI32(a.room, n)
+	if cap(a.isDirty) < n {
+		a.isDirty = make([]bool, n)
+	} else {
+		a.isDirty = a.isDirty[:n]
+		for i := range a.isDirty {
+			a.isDirty[i] = false
+		}
+	}
+	a.dirty = a.dirty[:0]
+	a.ids = a.ids[:0]
+	a.holes = 0
+	for i := range g.nodes {
+		d := int32(0)
+		if g.nodes[i].inUse {
+			for arc := g.nodes[i].firstOut; arc != InvalidArc; arc = g.arcs[arc].next {
+				a.ids = append(a.ids, arc)
+				d++
+			}
+		}
+		slack := rowSlack(d)
+		a.start[i] = int32(len(a.ids)) - d
+		a.deg[i] = d
+		a.room[i] = d + slack
+		for s := int32(0); s < slack; s++ {
+			a.ids = append(a.ids, InvalidArc)
+		}
+	}
+	a.built = true
+}
+
+// adjRepair rewrites every dirty row from its linked list. Rows that still
+// fit their slot are rewritten in place; rows that outgrew it relocate to
+// the end of the backing array, orphaning their old slot.
+func (g *Graph) adjRepair() {
+	a := &g.adj
+	if len(a.start) < len(g.nodes) {
+		a.growNodes(len(g.nodes))
+	}
+	for _, n := range a.dirty {
+		a.isDirty[n] = false
+		d := int32(0)
+		if g.nodes[n].inUse {
+			for arc := g.nodes[n].firstOut; arc != InvalidArc; arc = g.arcs[arc].next {
+				d++
+			}
+		}
+		if d > a.room[n] {
+			a.holes += int(a.room[n])
+			slack := rowSlack(d)
+			a.start[n] = int32(len(a.ids))
+			a.room[n] = d + slack
+			for s := int32(0); s < d+slack; s++ {
+				a.ids = append(a.ids, InvalidArc)
+			}
+		}
+		w := a.start[n]
+		if g.nodes[n].inUse {
+			for arc := g.nodes[n].firstOut; arc != InvalidArc; arc = g.arcs[arc].next {
+				a.ids[w] = arc
+				w++
+			}
+		}
+		a.deg[n] = d
+	}
+	a.dirty = a.dirty[:0]
+}
+
+// copyFrom deep-copies src's index state into a, reusing a's storage. The
+// solver pool clones the scheduling graph every round; copying the index
+// (three memmoves) is far cheaper than rebuilding it through the linked
+// list, and keeps the replica's index fully private so the speculative
+// solvers never share mutable index state across goroutines.
+func (a *adjIndex) copyFrom(src *adjIndex) {
+	a.built = src.built
+	a.holes = src.holes
+	a.start = append(a.start[:0], src.start...)
+	a.deg = append(a.deg[:0], src.deg...)
+	a.room = append(a.room[:0], src.room...)
+	a.ids = append(a.ids[:0], src.ids...)
+	a.isDirty = append(a.isDirty[:0], src.isDirty...)
+	a.dirty = append(a.dirty[:0], src.dirty...)
+}
+
+// grownI32 resizes s to n entries, reusing capacity. Contents are
+// unspecified (callers overwrite every entry).
+func grownI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

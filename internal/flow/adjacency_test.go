@@ -1,0 +1,167 @@
+package flow
+
+import "testing"
+
+func TestAdjacencyMatchesListsAfterBuild(t *testing.T) {
+	g := NewGraph(4, 4)
+	a := g.AddNode(1, KindTask)
+	b := g.AddNode(0, KindMachine)
+	c := g.AddNode(-1, KindSink)
+	g.AddArc(a, b, 1, 2)
+	g.AddArc(b, c, 1, 0)
+	g.AddArc(a, c, 1, 5)
+	if err := indexMatchesLists(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencyLazyUntilFirstCall(t *testing.T) {
+	g := NewGraph(0, 0)
+	a := g.AddNode(0, KindTask)
+	b := g.AddNode(0, KindSink)
+	g.AddArc(a, b, 1, 1)
+	if g.adj.built {
+		t.Fatal("index built before first Adjacency call")
+	}
+	g.Adjacency()
+	if !g.adj.built {
+		t.Fatal("index not built by Adjacency call")
+	}
+	if len(g.adj.dirty) != 0 {
+		t.Fatal("freshly built index has dirty rows")
+	}
+}
+
+func TestAdjacencyMarksOnlyTouchedRowsDirty(t *testing.T) {
+	g := NewGraph(0, 0)
+	var ids []NodeID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, g.AddNode(0, KindOther))
+	}
+	for i := 0; i < 7; i++ {
+		g.AddArc(ids[i], ids[i+1], 1, 1)
+	}
+	g.Adjacency() // build and clean
+	g.AddArc(ids[0], ids[3], 2, 2)
+	if got := len(g.adj.dirty); got != 2 {
+		t.Fatalf("AddArc dirtied %d rows, want 2 (tail and head)", got)
+	}
+	if err := indexMatchesLists(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.adj.dirty) != 0 {
+		t.Fatal("Adjacency left dirty rows behind")
+	}
+}
+
+func TestAdjacencyRowRelocationAndCompaction(t *testing.T) {
+	g := NewGraph(0, 0)
+	hub := g.AddNode(0, KindAggregator)
+	sink := g.AddNode(0, KindSink)
+	g.AddArc(hub, sink, 1, 0)
+	g.Adjacency()
+	// Grow the hub's row far beyond its reserved slack, repairing after
+	// each batch so rows relocate repeatedly and holes accumulate until a
+	// compacting rebuild triggers.
+	var spokes []NodeID
+	for batch := 0; batch < 12; batch++ {
+		for i := 0; i < 4; i++ {
+			n := g.AddNode(0, KindMachine)
+			spokes = append(spokes, n)
+			g.AddArc(hub, n, 1, int64(i))
+		}
+		if err := indexMatchesLists(g); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+	}
+	if deg := len(spokes) + 1; g.adj.deg[hub] != int32(deg) {
+		t.Fatalf("hub row degree %d, want %d", g.adj.deg[hub], deg)
+	}
+	if g.adj.holes*2 > len(g.adj.ids) {
+		t.Fatalf("compaction never ran: %d holes in %d slots", g.adj.holes, len(g.adj.ids))
+	}
+}
+
+func TestAdjacencyRemoveNodeEmptiesRow(t *testing.T) {
+	g := NewGraph(0, 0)
+	a := g.AddNode(0, KindTask)
+	b := g.AddNode(0, KindMachine)
+	c := g.AddNode(0, KindSink)
+	g.AddArc(a, b, 1, 1)
+	g.AddArc(b, c, 1, 1)
+	g.Adjacency()
+	g.RemoveNode(b)
+	adj := g.Adjacency()
+	if adj.Degree(b) != 0 {
+		t.Fatalf("removed node still has %d row entries", adj.Degree(b))
+	}
+	if adj.Degree(a) != 0 || adj.Degree(c) != 0 {
+		t.Fatal("neighbours of removed node retain dangling row entries")
+	}
+	if err := indexMatchesLists(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencyNodeAddedAfterBuild(t *testing.T) {
+	g := NewGraph(0, 0)
+	a := g.AddNode(0, KindTask)
+	b := g.AddNode(0, KindSink)
+	g.AddArc(a, b, 1, 1)
+	g.Adjacency()
+	// A node allocated beyond the built bound must grow the index arrays.
+	n := g.AddNode(0, KindMachine)
+	g.AddArc(n, b, 2, 3)
+	adj := g.Adjacency()
+	if adj.Degree(n) != 1 {
+		t.Fatalf("late node degree %d, want 1", adj.Degree(n))
+	}
+	if err := indexMatchesLists(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencyCloneCopiesIndexAndDirtyState(t *testing.T) {
+	g := NewGraph(0, 0)
+	a := g.AddNode(0, KindTask)
+	b := g.AddNode(0, KindMachine)
+	c := g.AddNode(0, KindSink)
+	ab := g.AddArc(a, b, 1, 1)
+	g.AddArc(b, c, 1, 1)
+	g.Adjacency()
+	g.RemoveArc(ab) // leave pending dirty rows in the source
+	clone := g.CloneInto(nil)
+	if err := indexMatchesLists(clone); err != nil {
+		t.Fatalf("clone index: %v", err)
+	}
+	// Repairing the clone must not clean the source's dirty rows.
+	if len(g.adj.dirty) == 0 {
+		t.Fatal("source dirty state vanished after clone repair")
+	}
+	if err := indexMatchesLists(g); err != nil {
+		t.Fatalf("source index: %v", err)
+	}
+	// Diverge the clone; the source's rows must be unaffected.
+	clone.AddArc(a, c, 5, 5)
+	if err := indexMatchesLists(clone); err != nil {
+		t.Fatalf("clone after divergence: %v", err)
+	}
+	gAdj := g.Adjacency()
+	if gAdj.Degree(a) != 0 {
+		t.Fatalf("source row for a has %d entries after clone mutation, want 0", gAdj.Degree(a))
+	}
+}
+
+func TestAdjacencyUnbuiltCloneStaysUnbuilt(t *testing.T) {
+	g := NewGraph(0, 0)
+	a := g.AddNode(0, KindTask)
+	b := g.AddNode(0, KindSink)
+	g.AddArc(a, b, 1, 1)
+	clone := g.CloneInto(nil)
+	if clone.adj.built {
+		t.Fatal("clone of unbuilt index claims to be built")
+	}
+	if err := indexMatchesLists(clone); err != nil {
+		t.Fatal(err)
+	}
+}

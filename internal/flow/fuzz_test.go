@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -12,6 +13,13 @@ import (
 // live supply (pushes are antisymmetric; removals take their flow with
 // them), clones are faithful, and the feasibility/optimality checkers never
 // panic or corrupt state.
+//
+// It also cross-checks the two adjacency representations: after every few
+// mutations (so that repairs see batches of dirty rows, not just single
+// ones) and at the end of the sequence, the lazily-repaired compact index
+// must list, for every node, exactly the arcs of the node's linked list in
+// the same order — including across Clone and CloneInto reuse cycles, which
+// copy the index together with its dirty-row bookkeeping.
 //
 // The seed corpus encodes the mutation patterns the unit tests exercise:
 // build-up then teardown, capacity shrink below flow, hub-node removal,
@@ -39,9 +47,19 @@ func FuzzGraphChanges(f *testing.F) {
 			return b
 		}
 
+		ops := 0
 		checkInvariants := func(op string) {
 			if !adjacencyConsistent(g) {
 				t.Fatalf("%s: adjacency structure corrupt", op)
+			}
+			// Cross-check the compact index against the linked list every
+			// few mutations, leaving gaps so repairs process multi-row
+			// dirty batches rather than one row at a time.
+			ops++
+			if ops%5 == 0 {
+				if err := indexMatchesLists(g); err != nil {
+					t.Fatalf("%s: %v", op, err)
+				}
 			}
 			if g.NumNodes() != len(nodes) || g.NumArcs() != len(arcs) {
 				t.Fatalf("%s: live counts %d/%d, model %d/%d",
@@ -153,12 +171,22 @@ func FuzzGraphChanges(f *testing.F) {
 			}
 		}
 
+		// The compact index must agree with the linked lists on the final
+		// state, whether or not the periodic checks above ever built it.
+		if err := indexMatchesLists(g); err != nil {
+			t.Fatalf("final state: %v", err)
+		}
+
 		// Clone fidelity on the final state: structure, cost and imbalance
 		// profile all survive a deep copy and a CloneInto reuse cycle.
 		c := g.Clone()
 		if !adjacencyConsistent(c) {
 			t.Fatal("clone has corrupt adjacency structure")
 		}
+		if err := indexMatchesLists(c); err != nil {
+			t.Fatalf("clone: %v", err)
+		}
+
 		if c.TotalCost() != g.TotalCost() || c.NumNodes() != g.NumNodes() || c.NumArcs() != g.NumArcs() {
 			t.Fatal("clone diverges from original")
 		}
@@ -182,5 +210,53 @@ func FuzzGraphChanges(f *testing.F) {
 				t.Fatalf("after ResetFlow, node %d imbalance %d != supply %d", i, e, want)
 			}
 		}
+
+		// CloneInto reuse cycle: copy into a reused destination, mutate the
+		// source, re-copy. The destination's index (including dirty-row
+		// bookkeeping copied mid-repair-cycle) must track its own lists,
+		// and the source must be unaffected by the destination's repairs.
+		reused := NewGraph(0, 0)
+		for cycle := 0; cycle < 2; cycle++ {
+			g.CloneInto(reused)
+			if err := indexMatchesLists(reused); err != nil {
+				t.Fatalf("CloneInto cycle %d: %v", cycle, err)
+			}
+			// Dirty the source between cycles so the second copy carries
+			// pending repairs into the reused destination.
+			n1 := g.AddNode(1, KindTask)
+			n2 := g.AddNode(-1, KindSink)
+			g.AddArc(n1, n2, 3, 1)
+		}
+		if err := indexMatchesLists(g); err != nil {
+			t.Fatalf("source after CloneInto cycles: %v", err)
+		}
 	})
+}
+
+// indexMatchesLists verifies that the compact adjacency index agrees with
+// the linked-list adjacency: for every node (live or dead, up to the ID
+// bound), Adjacency().Out must list exactly the arcs of the node's list, in
+// list order, and no row may contain stale entries.
+func indexMatchesLists(g *Graph) error {
+	adj := g.Adjacency()
+	for i := 0; i < g.NodeIDBound(); i++ {
+		n := NodeID(i)
+		row := adj.Out(n)
+		j := 0
+		if g.NodeInUse(n) {
+			for a := g.FirstOut(n); a != InvalidArc; a = g.NextOut(a) {
+				if j >= len(row) {
+					return fmt.Errorf("node %d: row has %d arcs, list has more (missing %d)", n, len(row), a)
+				}
+				if row[j] != a {
+					return fmt.Errorf("node %d: row[%d] = %d, list has %d", n, j, row[j], a)
+				}
+				j++
+			}
+		}
+		if j != len(row) {
+			return fmt.Errorf("node %d: row has %d arcs, list has %d", n, len(row), j)
+		}
+	}
+	return nil
 }

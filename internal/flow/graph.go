@@ -13,6 +13,24 @@
 // Nodes and arcs are recycled through free lists: cluster schedulers remove
 // task nodes at completion and machine nodes at failure thousands of times
 // per minute, and the graph must not grow without bound.
+//
+// # Dual adjacency representation
+//
+// The graph keeps adjacency twice. The doubly-linked per-node arc list
+// (FirstOut/NextOut) is the mutable source of truth: O(1) arc insertion and
+// removal, which the scheduler's per-round churn needs. Layered on top is a
+// compact CSR-style index (Adjacency) — per-node contiguous []ArcID rows —
+// which is what the MCMF solvers iterate: walking a linked list through the
+// shared arcs slice serializes the solver hot path behind dependent loads,
+// while contiguous rows let the CPU prefetch and pipeline them.
+//
+// The index is maintained lazily. Structural mutations (AddNode, AddArc,
+// RemoveArc, RemoveNode) mark only the touched tails dirty; the next
+// Adjacency() call repairs just those rows, so a steady-state scheduling
+// round with a small ChangeSet pays O(changed) rather than O(M) to refresh
+// the index. Flow pushes and cost/capacity/supply/potential updates leave
+// the index untouched. See adjacency.go for the invalidation rules in
+// detail.
 package flow
 
 import "fmt"
@@ -100,7 +118,10 @@ type Graph struct {
 	freeNodes []NodeID
 	freeArcs  []ArcID // forward (even) IDs of freed pairs
 	numNodes  int
-	numArcs   int // number of live forward arcs
+	numArcs   int      // number of live forward arcs
+	adj       adjIndex // lazily-repaired compact adjacency (adjacency.go)
+
+	removeScratch []ArcID // reusable pair buffer for RemoveNode
 }
 
 // NewGraph returns an empty graph. The hint sizes pre-allocate internal
@@ -139,6 +160,7 @@ func (g *Graph) AddNode(supply int64, kind NodeKind) NodeID {
 	}
 	g.nodes[id] = node{firstOut: InvalidArc, supply: supply, kind: kind, inUse: true}
 	g.numNodes++
+	g.adjTouch(id)
 	return id
 }
 
@@ -149,18 +171,22 @@ func (g *Graph) AddNode(supply int64, kind NodeKind) NodeID {
 func (g *Graph) RemoveNode(id NodeID) {
 	g.mustLiveNode(id, "RemoveNode")
 	// Removing arcs mutates the adjacency list we are iterating, so collect
-	// first. Every incident arc (in or out) appears in this node's out list:
-	// out-arcs directly, in-arcs via their reverse partner.
-	var pairs []ArcID
+	// first into a graph-held scratch buffer (task completion calls this
+	// thousands of times per minute; a fresh slice per call would churn the
+	// allocator). Every incident arc (in or out) appears in this node's out
+	// list: out-arcs directly, in-arcs via their reverse partner.
+	pairs := g.removeScratch[:0]
 	for a := g.nodes[id].firstOut; a != InvalidArc; a = g.arcs[a].next {
 		pairs = append(pairs, a&^1)
 	}
+	g.removeScratch = pairs
 	for _, a := range pairs {
 		g.RemoveArc(a)
 	}
 	g.nodes[id].inUse = false
 	g.freeNodes = append(g.freeNodes, id)
 	g.numNodes--
+	g.adjTouch(id)
 }
 
 // NodeInUse reports whether id refers to a live node.
@@ -190,6 +216,8 @@ func (g *Graph) AddArc(tail, head NodeID, capacity, cost int64) ArcID {
 	g.linkOut(tail, fwd)
 	g.linkOut(head, rev)
 	g.numArcs++
+	g.adjTouch(tail)
+	g.adjTouch(head)
 	return fwd
 }
 
@@ -200,12 +228,15 @@ func (g *Graph) RemoveArc(a ArcID) {
 	fwd := a &^ 1
 	g.mustLiveArc(fwd, "RemoveArc")
 	rev := fwd ^ 1
-	g.unlinkOut(g.arcs[rev].head, fwd) // tail of fwd
-	g.unlinkOut(g.arcs[fwd].head, rev)
+	tail, head := g.arcs[rev].head, g.arcs[fwd].head
+	g.unlinkOut(tail, fwd)
+	g.unlinkOut(head, rev)
 	g.arcs[fwd].alive = false
 	g.arcs[rev].alive = false
 	g.freeArcs = append(g.freeArcs, fwd)
 	g.numArcs--
+	g.adjTouch(tail)
+	g.adjTouch(head)
 }
 
 // ArcInUse reports whether a refers to a live arc (forward or reverse).
@@ -286,6 +317,13 @@ func (g *Graph) Push(a ArcID, amt int64) {
 // paper Eq. 4.
 func (g *Graph) ReducedCost(a ArcID) int64 {
 	return g.arcs[a].cost - g.nodes[g.arcs[a^1].head].potential + g.nodes[g.arcs[a].head].potential
+}
+
+// ReducedCostFrom is ReducedCost for an arc already known to leave tail.
+// Solver inner loops iterate a node's adjacency row, so the tail is at hand
+// and the partner-arc load that Tail(a) would incur can be skipped.
+func (g *Graph) ReducedCostFrom(tail NodeID, a ArcID) int64 {
+	return g.arcs[a].cost - g.nodes[tail].potential + g.nodes[g.arcs[a].head].potential
 }
 
 // Supply returns node n's supply b(n).

@@ -10,7 +10,22 @@ import "fmt"
 // so imbalances are generally nonzero; incremental solvers call this to
 // locate the surpluses and deficits they must repair (paper §5.2).
 func (g *Graph) Imbalances() []int64 {
-	im := make([]int64, len(g.nodes))
+	return g.ImbalancesInto(nil)
+}
+
+// ImbalancesInto is Imbalances writing into im, growing it if needed and
+// returning the (possibly reallocated) slice. Solvers call this once per
+// run or refine pass with a solver-held buffer so that the steady-state
+// solve loop does not allocate.
+func (g *Graph) ImbalancesInto(im []int64) []int64 {
+	if cap(im) < len(g.nodes) {
+		im = make([]int64, len(g.nodes))
+	} else {
+		im = im[:len(g.nodes)]
+		for i := range im {
+			im[i] = 0
+		}
+	}
 	for i := range g.nodes {
 		if g.nodes[i].inUse {
 			im[i] = g.nodes[i].supply
@@ -147,21 +162,20 @@ func (g *Graph) ResetPotentials() {
 // Clone returns a deep copy of the graph. Each speculative solver runs on
 // its own clone (paper §6.1).
 func (g *Graph) Clone() *Graph {
-	c := &Graph{
-		nodes:     append([]node(nil), g.nodes...),
-		arcs:      append([]arc(nil), g.arcs...),
-		freeNodes: append([]NodeID(nil), g.freeNodes...),
-		freeArcs:  append([]ArcID(nil), g.freeArcs...),
-		numNodes:  g.numNodes,
-		numArcs:   g.numArcs,
-	}
-	return c
+	return g.CloneInto(nil)
 }
 
 // CloneInto deep-copies g into dst (reusing dst's storage where possible)
 // and returns dst; pass nil to allocate. The solver pool re-clones the
 // scheduling graph every round for the speculative cost scaling run, so
 // avoiding reallocation matters at 10,000-machine scale.
+//
+// The compact adjacency index is copied along with the graph — including
+// its dirty-row bookkeeping — so a replica cloned from a graph with a
+// built index never rebuilds it from scratch: its first Adjacency() call
+// repairs only the rows dirtied since the source last repaired. The copy
+// is deep; the clone and the original never share mutable index state, so
+// the speculative solver race can run both graphs concurrently.
 func (g *Graph) CloneInto(dst *Graph) *Graph {
 	if dst == nil {
 		dst = &Graph{}
@@ -172,6 +186,7 @@ func (g *Graph) CloneInto(dst *Graph) *Graph {
 	dst.freeArcs = append(dst.freeArcs[:0], g.freeArcs...)
 	dst.numNodes = g.numNodes
 	dst.numArcs = g.numArcs
+	dst.adj.copyFrom(&g.adj)
 	return dst
 }
 

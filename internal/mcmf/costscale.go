@@ -1,7 +1,6 @@
 package mcmf
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -20,6 +19,11 @@ import (
 // solution, restarting epsilon at the largest reduced-cost violation that
 // the latest graph changes introduced rather than at the global maximum
 // cost (paper §5.2, §6.2).
+//
+// All adjacency iteration goes through the graph's compact index
+// (flow.Graph.Adjacency): the discharge loop visits each node's out-arcs
+// many times per refine, and iterating a contiguous row beats chasing the
+// linked arc list exactly where this solver spends its time.
 type CostScaling struct {
 	// scale multiplies arc costs internally so that a flow that is
 	// 1-optimal in scaled costs is optimal in original costs. It must be
@@ -27,13 +31,14 @@ type CostScaling struct {
 	// are in scaled units.
 	scale int64
 
+	adj      flow.Adjacency
 	excess   []int64
-	curArc   []flow.ArcID
+	cur      []int32 // per-node position in the node's adjacency row
 	relabels []int32
 	queue    []flow.NodeID
 	inQueue  []bool
 	dist     []int64
-	pq       nodeHeap
+	pq       distHeap
 }
 
 // NewCostScaling returns a cost scaling solver.
@@ -111,6 +116,7 @@ func (c *CostScaling) SolveIncremental(g *flow.Graph, changes *flow.ChangeSet, o
 // run performs refine passes from eps down to 1.
 func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Options) (Result, error) {
 	c.grow(g.NodeIDBound())
+	c.adj = g.Adjacency() // repair once; structure is fixed for the solve
 	alpha := opts.alpha()
 	if eps < 1 {
 		eps = 1
@@ -146,34 +152,39 @@ func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Optio
 func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 	bound := g.NodeIDBound()
 	// Saturate arcs violating eps-optimality (standard refine starts from a
-	// 0-optimal pseudoflow w.r.t. current potentials).
-	for a := 0; a < g.ArcIDBound(); a++ {
-		arc := flow.ArcID(a)
-		if !g.ArcInUse(arc) || g.Resid(arc) <= 0 {
+	// 0-optimal pseudoflow w.r.t. current potentials). One pass over the
+	// pairs: the partners' reduced costs are negations of each other, so at
+	// most one direction can violate and both arc records are loaded once.
+	for a := 0; a < g.ArcIDBound(); a += 2 {
+		fwd := flow.ArcID(a)
+		if !g.ArcInUse(fwd) {
 			continue
 		}
-		if c.scaledReducedCost(g, arc) < 0 {
-			g.Push(arc, g.Resid(arc))
+		rc := c.scaledReducedCost(g, fwd)
+		if rc < 0 {
+			if r := g.Resid(fwd); r > 0 {
+				g.Push(fwd, r)
+			}
+		} else if rc > 0 {
+			rev := fwd ^ 1
+			if r := g.Resid(rev); r > 0 {
+				g.Push(rev, r)
+			}
 		}
 	}
-	excess := g.Imbalances()
-	copy(c.excess, excess)
-	for i := len(excess); i < len(c.excess); i++ {
-		c.excess[i] = 0
-	}
+	c.excess = g.ImbalancesInto(c.excess)
 	c.queue = c.queue[:0]
 	for i := 0; i < bound; i++ {
 		c.inQueue[i] = false
 		c.relabels[i] = 0
-		c.curArc[i] = flow.InvalidArc
+		c.cur[i] = 0
 	}
-	g.Nodes(func(id flow.NodeID) {
-		c.curArc[id] = g.FirstOut(id)
-		if c.excess[id] > 0 {
-			c.queue = append(c.queue, id)
-			c.inQueue[id] = true
+	for i := 0; i < bound; i++ {
+		if c.excess[i] > 0 && g.NodeInUse(flow.NodeID(i)) {
+			c.queue = append(c.queue, flow.NodeID(i))
+			c.inQueue[i] = true
 		}
-	})
+	}
 	// Goldberg's price update heuristic (as in cs2): reprice so that every
 	// excess node has an admissible path towards a deficit. Run once up
 	// front — essential for incremental warm starts, where a small epsilon
@@ -192,21 +203,22 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 		if c.excess[u] <= 0 {
 			continue
 		}
-		// Discharge u.
+		// Discharge u by walking its compact adjacency row.
+		row := c.adj.Out(u)
 		for c.excess[u] > 0 {
 			work++
 			if work%stopCheckInterval == 0 && opts.stopped() {
 				return ErrStopped
 			}
-			a := c.curArc[u]
-			if a == flow.InvalidArc {
+			i := c.cur[u]
+			if int(i) >= len(row) {
 				// Relabel: raise potential to create an admissible arc.
 				newPi, ok := c.relabelTarget(g, u, eps)
 				if !ok {
 					return ErrInfeasible
 				}
 				g.SetPotential(u, newPi)
-				c.curArc[u] = g.FirstOut(u)
+				c.cur[u] = 0
 				c.relabels[u]++
 				if c.relabels[u] > relabelLimit {
 					return fmt.Errorf("mcmf: cost scaling relabeled node %d more than %d times: %w",
@@ -217,12 +229,15 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 					if err := c.priceUpdate(g, eps); err != nil {
 						return err
 					}
-					g.Nodes(func(id flow.NodeID) { c.curArc[id] = g.FirstOut(id) })
+					for j := 0; j < bound; j++ {
+						c.cur[j] = 0
+					}
 					relabelsSinceUpdate = 0
 				}
 				continue
 			}
-			if g.Resid(a) > 0 && c.scaledReducedCost(g, a) < 0 {
+			a := row[i]
+			if g.Resid(a) > 0 && c.scaledReducedCostFrom(g, u, a) < 0 {
 				v := g.Head(a)
 				amt := min64(c.excess[u], g.Resid(a))
 				g.Push(a, amt)
@@ -235,7 +250,7 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 				}
 				continue
 			}
-			c.curArc[u] = g.NextOut(a)
+			c.cur[u] = i + 1
 		}
 	}
 	// Compact the processed prefix occasionally would matter for memory on
@@ -257,29 +272,31 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 	for i := 0; i < bound; i++ {
 		c.dist[i] = inf
 	}
-	c.pq = c.pq[:0]
+	c.pq.reset()
 	hasExcess := false
-	g.Nodes(func(id flow.NodeID) {
-		if c.excess[id] < 0 {
-			c.dist[id] = 0
-			c.pq = append(c.pq, nodeDist{id, 0})
-		} else if c.excess[id] > 0 {
+	for i := 0; i < bound; i++ {
+		if !g.NodeInUse(flow.NodeID(i)) {
+			continue
+		}
+		if c.excess[i] < 0 {
+			c.dist[i] = 0
+			c.pq.push(flow.NodeID(i), 0)
+		} else if c.excess[i] > 0 {
 			hasExcess = true
 		}
-	})
-	if !hasExcess || len(c.pq) == 0 {
+	}
+	if !hasExcess || c.pq.size() == 0 {
 		return nil
 	}
-	heap.Init(&c.pq)
-	for c.pq.Len() > 0 {
-		nd := heap.Pop(&c.pq).(nodeDist)
+	for c.pq.size() > 0 {
+		nd := c.pq.pop()
 		v := nd.node
 		if nd.dist > c.dist[v] {
 			continue
 		}
 		// Relax predecessors: the in-arcs of v are the partners of v's
-		// out-list entries.
-		for b := g.FirstOut(v); b != flow.InvalidArc; b = g.NextOut(b) {
+		// out-row entries.
+		for _, b := range c.adj.Out(v) {
 			in := g.Reverse(b)
 			if g.Resid(in) <= 0 {
 				continue
@@ -292,7 +309,7 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 			}
 			if d := nd.dist + l; d < c.dist[u] {
 				c.dist[u] = d
-				heap.Push(&c.pq, nodeDist{u, d})
+				c.pq.push(u, d)
 			}
 		}
 	}
@@ -303,17 +320,21 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 		}
 	}
 	var infeasible bool
-	g.Nodes(func(id flow.NodeID) {
-		if c.dist[id] == inf {
-			if c.excess[id] > 0 {
+	for i := 0; i < bound; i++ {
+		if !g.NodeInUse(flow.NodeID(i)) {
+			continue
+		}
+		if c.dist[i] == inf {
+			if c.excess[i] > 0 {
 				infeasible = true
 			}
-			c.dist[id] = maxD
+			c.dist[i] = maxD
 		}
-		if d := c.dist[id]; d > 0 {
+		if d := c.dist[i]; d > 0 {
+			id := flow.NodeID(i)
 			g.SetPotential(id, g.Potential(id)+d*eps)
 		}
-	})
+	}
 	if infeasible {
 		return ErrInfeasible
 	}
@@ -326,7 +347,7 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 func (c *CostScaling) relabelTarget(g *flow.Graph, u flow.NodeID, eps int64) (int64, bool) {
 	const unset = int64(1) << 62
 	best := unset
-	for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+	for _, a := range c.adj.Out(u) {
 		if g.Resid(a) <= 0 {
 			continue
 		}
@@ -344,6 +365,12 @@ func (c *CostScaling) relabelTarget(g *flow.Graph, u flow.NodeID, eps int64) (in
 // domain.
 func (c *CostScaling) scaledReducedCost(g *flow.Graph, a flow.ArcID) int64 {
 	return g.Cost(a)*c.scale - g.Potential(g.Tail(a)) + g.Potential(g.Head(a))
+}
+
+// scaledReducedCostFrom is scaledReducedCost for an arc known to leave
+// tail, skipping the partner-arc load in the discharge inner loop.
+func (c *CostScaling) scaledReducedCostFrom(g *flow.Graph, tail flow.NodeID, a flow.ArcID) int64 {
+	return g.Cost(a)*c.scale - g.Potential(tail) + g.Potential(g.Head(a))
 }
 
 // maxScaledCost returns the largest absolute scaled arc cost (the classic
@@ -367,22 +394,34 @@ func (c *CostScaling) maxScaledCost(g *flow.Graph) int64 {
 // changes since the last run are the only possible source of violations.
 func (c *CostScaling) maxViolation(g *flow.Graph) int64 {
 	var m int64
-	for a := 0; a < g.ArcIDBound(); a++ {
-		arc := flow.ArcID(a)
-		if !g.ArcInUse(arc) || g.Resid(arc) <= 0 {
+	for a := 0; a < g.ArcIDBound(); a += 2 {
+		fwd := flow.ArcID(a)
+		if !g.ArcInUse(fwd) {
 			continue
 		}
-		if rc := c.scaledReducedCost(g, arc); rc < -m {
-			m = -rc
+		// The reverse partner's reduced cost is the negation, so one pair
+		// load covers both directions: the forward arc violates when rc < 0
+		// with forward residual, the reverse when rc > 0 with flow on it.
+		rc := c.scaledReducedCost(g, fwd)
+		if rc < -m {
+			if g.Resid(fwd) > 0 {
+				m = -rc
+			}
+		} else if rc > m {
+			if g.Resid(fwd^1) > 0 {
+				m = rc
+			}
 		}
 	}
 	return m
 }
 
 func (c *CostScaling) grow(n int) {
-	if len(c.excess) < n {
+	// Keyed on a slice grow itself owns: c.excess is resized independently
+	// by ImbalancesInto, so its length cannot gate the others.
+	if len(c.cur) < n {
 		c.excess = make([]int64, n)
-		c.curArc = make([]flow.ArcID, n)
+		c.cur = make([]int32, n)
 		c.relabels = make([]int32, n)
 		c.inQueue = make([]bool, n)
 		c.dist = make([]int64, n)

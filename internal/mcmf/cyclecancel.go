@@ -15,7 +15,9 @@ import (
 // works towards optimality. It is the simplest and slowest of Firmament's
 // algorithms; it exists as a correctness oracle and as the Figure 7
 // baseline.
-type CycleCanceling struct{}
+type CycleCanceling struct {
+	cycle []flow.ArcID // reusable buffer for negativeCycle results
+}
 
 // NewCycleCanceling returns a cycle canceling solver.
 func NewCycleCanceling() *CycleCanceling { return &CycleCanceling{} }
@@ -40,7 +42,10 @@ func (c *CycleCanceling) Solve(g *flow.Graph, opts *Options) (Result, error) {
 		if opts.stopped() {
 			return Result{}, ErrStopped
 		}
-		cycle := negativeCycle(g, opts)
+		cycle := negativeCycle(g, opts, c.cycle)
+		if cycle != nil {
+			c.cycle = cycle // retain the grown buffer for the next search
+		}
 		if cycle == nil {
 			if opts.stopped() {
 				return Result{}, ErrStopped

@@ -11,13 +11,20 @@ import (
 // networks).
 //
 // Cycle canceling uses MaxFlow to obtain its initial feasible flow
-// (paper §4: "the algorithm first computes a max-flow solution").
+// (paper §4: "the algorithm first computes a max-flow solution"). Both the
+// BFS level pass and the blocking-flow DFS iterate the compact adjacency
+// index; the DFS keeps a per-node position into the node's row (the classic
+// current-arc optimization) instead of a linked-list cursor.
 func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 	n := g.NodeIDBound()
-	excess := g.Imbalances()
-	level := make([]int32, n)
-	iter := make([]flow.ArcID, n)
-	queue := make([]flow.NodeID, 0, n)
+	adj := g.Adjacency()
+	s := helperPool.Get().(*helperScratch)
+	defer helperPool.Put(s)
+	excess := g.ImbalancesInto(s.i64)
+	s.i64 = excess
+	level := s.int32s(n, -1)
+	iter := s.cursors(n, 0)
+	queue := s.nodes(n)
 
 	var totalSurplus int64
 	for _, e := range excess {
@@ -30,31 +37,35 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 		if opts.stopped() {
 			return totalSurplus, ErrStopped
 		}
-		// BFS phase: level graph from all surplus nodes.
+		// BFS phase: level graph from all surplus nodes. Each node enters
+		// the queue at most once, so a length-n slice with a head index
+		// suffices.
 		for i := range level {
 			level[i] = -1
 		}
-		queue = queue[:0]
-		g.Nodes(func(id flow.NodeID) {
-			if excess[id] > 0 {
-				level[id] = 0
-				queue = append(queue, id)
+		qlen := 0
+		for i := range excess {
+			if excess[i] > 0 { // positive excess implies a live node
+				level[i] = 0
+				queue[qlen] = flow.NodeID(i)
+				qlen++
 			}
-		})
+		}
 		reachedDeficit := false
-		for qi := 0; qi < len(queue); qi++ {
+		for qi := 0; qi < qlen; qi++ {
 			u := queue[qi]
 			if excess[u] < 0 {
 				reachedDeficit = true
 			}
-			for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+			for _, a := range adj.Out(u) {
 				if g.Resid(a) <= 0 {
 					continue
 				}
 				v := g.Head(a)
 				if level[v] < 0 {
 					level[v] = level[u] + 1
-					queue = append(queue, v)
+					queue[qlen] = v
+					qlen++
 				}
 			}
 		}
@@ -62,9 +73,9 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 			break
 		}
 		// DFS phase: blocking flow from every surplus node.
-		g.Nodes(func(id flow.NodeID) {
-			iter[id] = g.FirstOut(id)
-		})
+		for i := range iter {
+			iter[i] = 0
+		}
 		var dfs func(u flow.NodeID, limit int64) int64
 		dfs = func(u flow.NodeID, limit int64) int64 {
 			if excess[u] < 0 {
@@ -73,8 +84,9 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 				return take
 			}
 			var total int64
-			for iter[u] != flow.InvalidArc && total < limit {
-				a := iter[u]
+			row := adj.Out(u)
+			for int(iter[u]) < len(row) && total < limit {
+				a := row[iter[u]]
 				if g.Resid(a) > 0 {
 					v := g.Head(a)
 					if level[v] == level[u]+1 {
@@ -87,12 +99,13 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 						level[v] = -1 // dead end
 					}
 				}
-				iter[u] = g.NextOut(a)
+				iter[u]++
 			}
 			return total
 		}
 		var phasePushed int64
-		g.Nodes(func(id flow.NodeID) {
+		for i := range excess {
+			id := flow.NodeID(i)
 			for excess[id] > 0 {
 				pushed := dfs(id, excess[id])
 				if pushed == 0 {
@@ -101,7 +114,7 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 				excess[id] -= pushed
 				phasePushed += pushed
 			}
-		})
+		}
 		if phasePushed == 0 {
 			break
 		}

@@ -37,7 +37,12 @@ import (
 // towards depth-first exploration when demand nodes can be reached, but
 // uses breadth-first exploration otherwise". Firmament always runs
 // relaxation with the heuristic enabled.
+//
+// Tree growth iterates the compact adjacency index (flow.Graph.Adjacency):
+// labeling a node scans its whole out-row, and the contiguous row layout is
+// what keeps that scan inside the cache.
 type Relaxation struct {
+	adj       flow.Adjacency
 	excess    []int64
 	labeled   []int32 // epoch at which the node joined Z
 	joinDelta []int64 // cumulative ascent delta when the node joined
@@ -49,6 +54,13 @@ type Relaxation struct {
 	zprio     arcDeque // frontier arcs leading to deficit nodes (AP, §5.3.1)
 	queue     []flow.NodeID
 	inQueue   []bool
+
+	// Per-iteration tree state, held on the struct so that the label step
+	// is a plain method (a closure here would heap-allocate its captures
+	// once per iteration — thousands of times per solve).
+	delta   int64 // cumulative dual ascent of the current tree
+	surplus int64 // total excess trapped in Z
+	zresid  int64 // residual capacity of zero-rc arcs leaving Z
 }
 
 // NewRelaxation returns a relaxation solver.
@@ -80,6 +92,7 @@ func (r *Relaxation) SolveIncremental(g *flow.Graph, changes *flow.ChangeSet, op
 func (r *Relaxation) run(g *flow.Graph, start time.Time, opts *Options) (Result, error) {
 	bound := g.NodeIDBound()
 	r.grow(bound)
+	r.adj = g.Adjacency()
 	// Enforce reduced cost optimality for the initial pseudoflow.
 	for a := 0; a < g.ArcIDBound(); a++ {
 		arc := flow.ArcID(a)
@@ -87,25 +100,22 @@ func (r *Relaxation) run(g *flow.Graph, start time.Time, opts *Options) (Result,
 			g.Push(arc, g.Resid(arc))
 		}
 	}
-	excess := g.Imbalances()
-	copy(r.excess, excess)
-	for i := len(excess); i < len(r.excess); i++ {
-		r.excess[i] = 0
-	}
+	r.excess = g.ImbalancesInto(r.excess)
 	r.queue = r.queue[:0]
 	for i := 0; i < bound; i++ {
 		r.inQueue[i] = false
 	}
-	g.Nodes(func(id flow.NodeID) {
-		if r.excess[id] > 0 {
-			r.enqueue(id)
+	for i := 0; i < bound; i++ {
+		if r.excess[i] > 0 {
+			r.enqueue(flow.NodeID(i))
 		}
-	})
+	}
 
 	var iters int64
-	for len(r.queue) > 0 {
-		s := r.queue[0]
-		r.queue = r.queue[1:]
+	// Index-based FIFO: popping via r.queue[1:] would slide the slice
+	// forward and leak its capacity across runs, reallocating every solve.
+	for qi := 0; qi < len(r.queue); qi++ {
+		s := r.queue[qi]
 		r.inQueue[s] = false
 		if r.excess[s] <= 0 {
 			continue
@@ -132,6 +142,61 @@ func (r *Relaxation) run(g *flow.Graph, start time.Time, opts *Options) (Result,
 	}, nil
 }
 
+// label adds u to the tree Z (reached via arc `via`, InvalidArc for the
+// root) and classifies u's out-arcs into the zero-reduced-cost frontier,
+// the positive-reduced-cost crossing heap, or — for complementary
+// slackness violations — immediate saturation.
+func (r *Relaxation) label(g *flow.Graph, opts *Options, u flow.NodeID, via flow.ArcID) {
+	r.labeled[u] = r.epoch
+	r.joinDelta[u] = r.delta
+	r.parent[u] = via
+	r.znodes = append(r.znodes, u)
+	r.surplus += r.excess[u]
+	for _, a := range r.adj.Out(u) {
+		res := g.Resid(a)
+		if res <= 0 {
+			continue
+		}
+		v := g.Head(a)
+		if r.labeled[v] == r.epoch {
+			continue
+		}
+		rc := g.ReducedCostFrom(u, a) // u joined at current delta, so this is exact
+		switch {
+		case rc == 0:
+			switch {
+			case opts != nil && opts.ArcPrioritization && r.excess[v] < 0:
+				r.zprio.pushFront(a)
+			case opts != nil && opts.ArcPrioritization:
+				r.zfront.pushFront(a) // hybrid: depth-first otherwise
+			default:
+				r.zfront.pushBack(a) // textbook: breadth-first
+			}
+			r.zresid += res
+		case rc > 0:
+			r.heap.push(rc+r.delta, a)
+		default:
+			// Complementary slackness violation: repair by saturation,
+			// exactly as the initial enforcement pass would.
+			g.Push(a, res)
+			r.excess[u] -= res
+			r.excess[v] += res
+			r.surplus -= res
+			if r.excess[v] > 0 {
+				r.enqueue(v)
+			}
+		}
+	}
+}
+
+// finish applies the accumulated dual ascent to every node of the current
+// tree: each gets the delta accrued since it joined.
+func (r *Relaxation) finish(g *flow.Graph) {
+	for _, z := range r.znodes {
+		g.SetPotential(z, g.Potential(z)+r.delta-r.joinDelta[z])
+	}
+}
+
 // iterate performs one relaxation iteration rooted at surplus node s: grow
 // the zero-reduced-cost tree until either a deficit node is labeled (then
 // augment) or the trapped surplus exceeds the zero-cost out-capacity (then
@@ -143,67 +208,16 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 	r.heap.reset()
 	r.zfront.reset()
 	r.zprio.reset()
-	var delta int64   // cumulative dual ascent
-	var surplus int64 // total excess trapped in Z
-	var zresid int64  // residual capacity of zero-rc arcs leaving Z
+	r.delta, r.surplus, r.zresid = 0, 0, 0
 
-	label := func(u flow.NodeID, via flow.ArcID) {
-		r.labeled[u] = r.epoch
-		r.joinDelta[u] = delta
-		r.parent[u] = via
-		r.znodes = append(r.znodes, u)
-		surplus += r.excess[u]
-		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
-			res := g.Resid(a)
-			if res <= 0 {
-				continue
-			}
-			v := g.Head(a)
-			if r.labeled[v] == r.epoch {
-				continue
-			}
-			rc := g.ReducedCost(a) // u joined at current delta, so this is exact
-			switch {
-			case rc == 0:
-				switch {
-				case opts != nil && opts.ArcPrioritization && r.excess[v] < 0:
-					r.zprio.pushFront(a)
-				case opts != nil && opts.ArcPrioritization:
-					r.zfront.pushFront(a) // hybrid: depth-first otherwise
-				default:
-					r.zfront.pushBack(a) // textbook: breadth-first
-				}
-				zresid += res
-			case rc > 0:
-				r.heap.push(rc+delta, a)
-			default:
-				// Complementary slackness violation: repair by saturation,
-				// exactly as the initial enforcement pass would.
-				g.Push(a, res)
-				r.excess[u] -= res
-				r.excess[v] += res
-				surplus -= res
-				if r.excess[v] > 0 {
-					r.enqueue(v)
-				}
-			}
-		}
-	}
-
-	finish := func() {
-		for _, z := range r.znodes {
-			g.SetPotential(z, g.Potential(z)+delta-r.joinDelta[z])
-		}
-	}
-
-	label(s, flow.InvalidArc)
+	r.label(g, opts, s, flow.InvalidArc)
 	for {
-		if surplus <= 0 {
+		if r.surplus <= 0 {
 			// All trapped surplus was pushed out of Z by saturations.
-			finish()
+			r.finish(g)
 			return nil
 		}
-		if surplus > zresid {
+		if r.surplus > r.zresid {
 			// Relaxation step: saturate every zero-rc arc leaving Z, ...
 			for _, front := range []*arcDeque{&r.zprio, &r.zfront} {
 				for front.len() > 0 {
@@ -220,15 +234,15 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 					g.Push(a, res)
 					r.excess[u] -= res
 					r.excess[v] += res
-					surplus -= res
+					r.surplus -= res
 					if r.excess[v] > 0 {
 						r.enqueue(v)
 					}
 				}
 			}
-			zresid = 0
-			if surplus <= 0 {
-				finish()
+			r.zresid = 0
+			if r.surplus <= 0 {
+				r.finish(g)
 				return nil
 			}
 			// ... then ascend: raise Z's potential by the smallest positive
@@ -237,7 +251,7 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 			for stale {
 				top, ok := r.heap.peek()
 				if !ok {
-					finish()
+					r.finish(g)
 					return ErrInfeasible
 				}
 				if r.labeled[g.Head(top.arc)] == r.epoch || g.Resid(top.arc) <= 0 {
@@ -247,11 +261,11 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 				stale = false
 			}
 			top, _ := r.heap.peek()
-			delta = top.key // effective rc of top becomes zero
+			r.delta = top.key // effective rc of top becomes zero
 			// Move every now-zero crossing arc to the frontier.
 			for {
 				t, ok := r.heap.peek()
-				if !ok || t.key > delta {
+				if !ok || t.key > r.delta {
 					break
 				}
 				r.heap.pop()
@@ -267,7 +281,7 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 				default:
 					r.zfront.pushBack(t.arc)
 				}
-				zresid += g.Resid(t.arc)
+				r.zresid += g.Resid(t.arc)
 			}
 			continue
 		}
@@ -276,7 +290,7 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 		if r.zprio.len() == 0 && r.zfront.len() == 0 {
 			// Counters said capacity exists but entries were stale; force
 			// the ascent path on the next loop.
-			zresid = 0
+			r.zresid = 0
 			continue
 		}
 		var a flow.ArcID
@@ -286,9 +300,9 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 			a = r.zfront.popFront()
 		}
 		res := g.Resid(a)
-		zresid -= res
-		if zresid < 0 {
-			zresid = 0
+		r.zresid -= res
+		if r.zresid < 0 {
+			r.zresid = 0
 		}
 		v := g.Head(a)
 		if r.labeled[v] == r.epoch || res <= 0 {
@@ -300,12 +314,12 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 			// saturations; in that case the iteration already made
 			// feasibility progress and there is nothing left to augment.
 			if r.excess[s] <= 0 {
-				finish()
+				r.finish(g)
 				return nil
 			}
 			r.parent[v] = a
 			r.labeled[v] = r.epoch // mark for completeness
-			r.joinDelta[v] = delta
+			r.joinDelta[v] = r.delta
 			amt := min64(r.excess[s], -r.excess[v])
 			for x := v; x != s; {
 				pa := r.parent[x]
@@ -325,10 +339,10 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 			// accrues to it; drop it from znodes bookkeeping by leaving
 			// joinDelta[v] = delta.
 			r.znodes = append(r.znodes, v)
-			finish()
+			r.finish(g)
 			return nil
 		}
-		label(v, a)
+		r.label(g, opts, v, a)
 	}
 }
 
@@ -340,8 +354,7 @@ func (r *Relaxation) enqueue(id flow.NodeID) {
 }
 
 func (r *Relaxation) grow(n int) {
-	if len(r.excess) < n {
-		r.excess = make([]int64, n)
+	if len(r.labeled) < n {
 		r.labeled = make([]int32, n)
 		r.joinDelta = make([]int64, n)
 		r.parent = make([]flow.ArcID, n)

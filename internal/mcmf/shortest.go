@@ -1,8 +1,102 @@
 package mcmf
 
 import (
+	"sync"
+
 	"firmament/internal/flow"
 )
+
+// helperScratch holds the working arrays of the package-level helpers
+// (InitPotentials, PriceRefine, negativeCycle, MaxFlow). They are borrowed
+// from a pool per call instead of allocated fresh: the solver pool runs
+// PriceRefine every round and cycle canceling calls negativeCycle once per
+// cancelled cycle, so per-call allocation of four N-sized arrays showed up
+// directly in the steady-state allocation profile.
+type helperScratch struct {
+	i64     []int64 // distances or excesses
+	counts  []int32 // relaxation counters, BFS levels
+	cursor  []int32 // per-node adjacency row positions (Dinic), parents
+	arcs    []flow.ArcID
+	inQueue []bool
+	queue   []flow.NodeID
+}
+
+var helperPool = sync.Pool{New: func() any { return new(helperScratch) }}
+
+// int64s returns a zeroed int64 slice of length n, reusing capacity.
+func (s *helperScratch) int64s(n int) []int64 {
+	if cap(s.i64) < n {
+		s.i64 = make([]int64, n)
+	} else {
+		s.i64 = s.i64[:n]
+		for i := range s.i64 {
+			s.i64[i] = 0
+		}
+	}
+	return s.i64
+}
+
+// int32s returns an int32 slice of length n filled with v, reusing capacity.
+func (s *helperScratch) int32s(n int, v int32) []int32 {
+	if cap(s.counts) < n {
+		s.counts = make([]int32, n)
+	} else {
+		s.counts = s.counts[:n]
+	}
+	for i := range s.counts {
+		s.counts[i] = v
+	}
+	return s.counts
+}
+
+// cursors returns an int32 slice of length n filled with v, distinct from
+// int32s so a helper can hold both at once.
+func (s *helperScratch) cursors(n int, v int32) []int32 {
+	if cap(s.cursor) < n {
+		s.cursor = make([]int32, n)
+	} else {
+		s.cursor = s.cursor[:n]
+	}
+	for i := range s.cursor {
+		s.cursor[i] = v
+	}
+	return s.cursor
+}
+
+// arcIDs returns a flow.ArcID slice of length n filled with InvalidArc.
+func (s *helperScratch) arcIDs(n int) []flow.ArcID {
+	if cap(s.arcs) < n {
+		s.arcs = make([]flow.ArcID, n)
+	} else {
+		s.arcs = s.arcs[:n]
+	}
+	for i := range s.arcs {
+		s.arcs[i] = flow.InvalidArc
+	}
+	return s.arcs
+}
+
+// bools returns a zeroed bool slice of length n, reusing capacity.
+func (s *helperScratch) bools(n int) []bool {
+	if cap(s.inQueue) < n {
+		s.inQueue = make([]bool, n)
+	} else {
+		s.inQueue = s.inQueue[:n]
+		for i := range s.inQueue {
+			s.inQueue[i] = false
+		}
+	}
+	return s.inQueue
+}
+
+// nodes returns a node slice of length n for use as a FIFO ring (SPFA and
+// BFS queues hold each node at most once, so occupancy never exceeds n).
+func (s *helperScratch) nodes(n int) []flow.NodeID {
+	if cap(s.queue) < n {
+		s.queue = make([]flow.NodeID, n)
+	}
+	return s.queue[:n]
+}
 
 // InitPotentials assigns node potentials such that every residual arc has
 // non-negative reduced cost, using a label-correcting Bellman-Ford pass over
@@ -16,20 +110,30 @@ import (
 // scratch on graphs that may contain negative-cost arcs.
 func InitPotentials(g *flow.Graph, opts *Options) bool {
 	n := g.NodeIDBound()
-	dist := make([]int64, n)
-	inQueue := make([]bool, n)
-	relaxations := make([]int32, n)
-	queue := make([]flow.NodeID, 0, n)
+	adj := g.Adjacency()
+	s := helperPool.Get().(*helperScratch)
+	defer helperPool.Put(s)
+	if n == 0 {
+		return true
+	}
+	dist := s.int64s(n)
+	inQueue := s.bools(n)
+	relaxations := s.int32s(n, 0)
+	// FIFO ring: the inQueue guard bounds occupancy by n.
+	queue := s.nodes(n)
+	qhead, qlen := 0, 0
 	g.Nodes(func(id flow.NodeID) {
-		queue = append(queue, id)
+		queue[(qhead+qlen)%n] = id
+		qlen++
 		inQueue[id] = true
 	})
 	limit := int32(g.NumNodes() + 1)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for qlen > 0 {
+		u := queue[qhead]
+		qhead = (qhead + 1) % n
+		qlen--
 		inQueue[u] = false
-		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+		for _, a := range adj.Out(u) {
 			if g.Resid(a) <= 0 {
 				continue
 			}
@@ -41,7 +145,8 @@ func InitPotentials(g *flow.Graph, opts *Options) bool {
 					if relaxations[v] > limit {
 						return false // negative cycle
 					}
-					queue = append(queue, v)
+					queue[(qhead+qlen)%n] = v
+					qlen++
 					inQueue[v] = true
 				}
 			}
@@ -54,19 +159,19 @@ func InitPotentials(g *flow.Graph, opts *Options) bool {
 }
 
 // negativeCycle finds a directed negative-cost cycle in the residual network
-// of g, returning the arcs of one such cycle, or nil if none exists. Cycle
-// canceling uses this as its core primitive (paper §4).
+// of g, returning the arcs of one such cycle appended to buf (resliced to
+// empty first), or nil if none exists. Cycle canceling uses this as its
+// core primitive (paper §4).
 //
 // The implementation is Bellman-Ford with parent pointers: if any distance
 // still improves in round N, walking parents from the improved node must
 // enter a cycle.
-func negativeCycle(g *flow.Graph, opts *Options) []flow.ArcID {
+func negativeCycle(g *flow.Graph, opts *Options, buf []flow.ArcID) []flow.ArcID {
 	n := g.NodeIDBound()
-	dist := make([]int64, n)
-	parent := make([]flow.ArcID, n)
-	for i := range parent {
-		parent[i] = flow.InvalidArc
-	}
+	s := helperPool.Get().(*helperScratch)
+	defer helperPool.Put(s)
+	dist := s.int64s(n)
+	parent := s.arcIDs(n)
 	var witness flow.NodeID = flow.InvalidNode
 	rounds := g.NumNodes()
 	for round := 0; round <= rounds; round++ {
@@ -99,7 +204,7 @@ func negativeCycle(g *flow.Graph, opts *Options) []flow.ArcID {
 	for i := 0; i < rounds; i++ {
 		v = g.Tail(parent[v])
 	}
-	var cycle []flow.ArcID
+	cycle := buf[:0]
 	u := v
 	for {
 		a := parent[u]
@@ -128,21 +233,31 @@ func negativeCycle(g *flow.Graph, opts *Options) []flow.ArcID {
 // incremental cost scaling run can start from a small epsilon).
 func PriceRefine(g *flow.Graph, costScale, eps int64, opts *Options) bool {
 	n := g.NodeIDBound()
-	dist := make([]int64, n)
-	inQueue := make([]bool, n)
-	relaxations := make([]int32, n)
-	queue := make([]flow.NodeID, 0, n)
+	adj := g.Adjacency()
+	s := helperPool.Get().(*helperScratch)
+	defer helperPool.Put(s)
+	if n == 0 {
+		return true
+	}
+	dist := s.int64s(n)
+	inQueue := s.bools(n)
+	relaxations := s.int32s(n, 0)
+	// FIFO ring: the inQueue guard bounds occupancy by n.
+	queue := s.nodes(n)
+	qhead, qlen := 0, 0
 	g.Nodes(func(id flow.NodeID) {
-		queue = append(queue, id)
+		queue[(qhead+qlen)%n] = id
+		qlen++
 		inQueue[id] = true
 	})
 	limit := int32(g.NumNodes() + 1)
 	var work int
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for qlen > 0 {
+		u := queue[qhead]
+		qhead = (qhead + 1) % n
+		qlen--
 		inQueue[u] = false
-		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+		for _, a := range adj.Out(u) {
 			if g.Resid(a) <= 0 {
 				continue
 			}
@@ -158,7 +273,8 @@ func PriceRefine(g *flow.Graph, costScale, eps int64, opts *Options) bool {
 					if relaxations[v] > limit {
 						return false
 					}
-					queue = append(queue, v)
+					queue[(qhead+qlen)%n] = v
+					qlen++
 					inQueue[v] = true
 				}
 			}

@@ -1,7 +1,6 @@
 package mcmf
 
 import (
-	"container/heap"
 	"time"
 
 	"firmament/internal/flow"
@@ -18,11 +17,14 @@ import (
 // outperforms cycle canceling on scheduling graphs (Figure 7) because every
 // unit of supply pays for a Dijkstra search.
 type SuccessiveShortestPath struct {
+	adj     flow.Adjacency
 	dist    []int64
 	parent  []flow.ArcID
 	visited []int32
 	epoch   int32
-	pq      nodeHeap
+	pq      distHeap
+	excess  []int64
+	sources []flow.NodeID
 }
 
 // NewSuccessiveShortestPath returns an SSP solver.
@@ -45,14 +47,17 @@ func (s *SuccessiveShortestPath) Solve(g *flow.Graph, opts *Options) (Result, er
 		return Result{}, ErrInfeasible
 	}
 	s.grow(g.NodeIDBound())
+	s.adj = g.Adjacency()
 
-	excess := g.Imbalances()
-	var sources []flow.NodeID
-	g.Nodes(func(id flow.NodeID) {
-		if excess[id] > 0 {
-			sources = append(sources, id)
+	s.excess = g.ImbalancesInto(s.excess)
+	excess := s.excess
+	sources := s.sources[:0]
+	for i, e := range excess {
+		if e > 0 {
+			sources = append(sources, flow.NodeID(i))
 		}
-	})
+	}
+	s.sources = sources
 
 	var iters int64
 	for _, src := range sources {
@@ -113,16 +118,16 @@ func (s *SuccessiveShortestPath) Solve(g *flow.Graph, opts *Options) (Result, er
 // deficit node, or ok=false if none is reachable.
 func (s *SuccessiveShortestPath) dijkstra(g *flow.Graph, src flow.NodeID, excess []int64, opts *Options) (flow.NodeID, bool) {
 	s.epoch++
-	s.pq = s.pq[:0]
+	s.pq.reset()
 	s.dist[src] = 0
 	s.visited[src] = s.epoch
 	s.parent[src] = flow.InvalidArc
-	heap.Push(&s.pq, nodeDist{src, 0})
+	s.pq.push(src, 0)
 	best := flow.InvalidNode
 	var bestDist int64
 	var work int
-	for s.pq.Len() > 0 {
-		nd := heap.Pop(&s.pq).(nodeDist)
+	for s.pq.size() > 0 {
+		nd := s.pq.pop()
 		u := nd.node
 		if nd.dist > s.dist[u] {
 			continue // stale entry
@@ -134,12 +139,12 @@ func (s *SuccessiveShortestPath) dijkstra(g *flow.Graph, src flow.NodeID, excess
 		if excess[u] < 0 && (best == flow.InvalidNode || nd.dist < bestDist) {
 			best, bestDist = u, nd.dist
 		}
-		for a := g.FirstOut(u); a != flow.InvalidArc; a = g.NextOut(a) {
+		for _, a := range s.adj.Out(u) {
 			if g.Resid(a) <= 0 {
 				continue
 			}
 			v := g.Head(a)
-			rc := g.ReducedCost(a)
+			rc := g.ReducedCostFrom(u, a)
 			if rc < 0 {
 				rc = 0 // tolerate rounding of repriced unscanned nodes
 			}
@@ -148,7 +153,7 @@ func (s *SuccessiveShortestPath) dijkstra(g *flow.Graph, src flow.NodeID, excess
 				s.visited[v] = s.epoch
 				s.dist[v] = d
 				s.parent[v] = a
-				heap.Push(&s.pq, nodeDist{v, d})
+				s.pq.push(v, d)
 			}
 		}
 	}
@@ -167,22 +172,58 @@ func (s *SuccessiveShortestPath) grow(n int) {
 	}
 }
 
-// nodeDist is a priority queue entry for Dijkstra.
+// nodeDist is a (node, distance) pair ordered by distance.
 type nodeDist struct {
 	node flow.NodeID
 	dist int64
 }
 
-type nodeHeap []nodeDist
+// distHeap is a hand-rolled binary min-heap of nodeDist shared by the
+// Dijkstra searches in SSP and cost scaling's price update. container/heap
+// boxes every pushed element into an interface value, which at the ~10⁵
+// pushes of a single solve dominated the allocation profile; a typed heap
+// allocates only when its backing array grows, which the owning solver
+// retains across runs.
+type distHeap struct {
+	items []nodeDist
+}
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *distHeap) reset()    { h.items = h.items[:0] }
+func (h *distHeap) size() int { return len(h.items) }
+
+func (h *distHeap) push(n flow.NodeID, d int64) {
+	h.items = append(h.items, nodeDist{n, d})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].dist <= h.items[i].dist {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() nodeDist {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].dist < h.items[smallest].dist {
+			smallest = l
+		}
+		if r < last && h.items[r].dist < h.items[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
 }

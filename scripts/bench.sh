@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the solver-critical benchmarks and write a JSON snapshot.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=1x COUNT=1 scripts/bench.sh /tmp/smoke.json   # CI smoke
+#   scripts/bench.sh BENCH_PR5.json                         # full snapshot
+#
+# The snapshot records ns/op, B/op and allocs/op for the benchmarks that
+# gate the MCMF hot path (Fig. 3, 7, 11, 14 and the pool's per-round clone)
+# so that later PRs have a perf trajectory to compare against.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-3}"
+pattern='^(BenchmarkFig3QuincyRuntime|BenchmarkFig7Algorithms|BenchmarkFig11Incremental|BenchmarkFig14PlacementLatency|BenchmarkClone)$'
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+
+awk -v benchtime="$benchtime" -v count="$count" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    recs[n++] = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs)
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"count\": %s,\n  \"results\": [\n", benchtime, count
+    for (i = 0; i < n; i++) printf "  %s%s\n", recs[i], (i < n-1 ? "," : "")
+    print "  ]\n}"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
