@@ -491,3 +491,56 @@ func BenchmarkClone(b *testing.B) {
 		g.CloneInto(clone)
 	}
 }
+
+// BenchmarkRestore measures crash recovery: rebuilding a service — cluster
+// tables plus the warm flow network — from a journal directory holding a
+// snapshot of a loaded 64-machine cluster. This is the restart-to-scheduling
+// time a durable deployment pays, and it must stay far below a from-scratch
+// graph rebuild plus cold solve for the warm-start design to carry its
+// weight.
+func BenchmarkRestore(b *testing.B) {
+	dir := b.TempDir()
+	opts := ServiceOptions{
+		Topology:   Topology{Racks: 4, MachinesPerRack: 16, SlotsPerMachine: 16},
+		Model:      func(cl *Cluster) CostModel { return NewLoadSpreadPolicy(cl) },
+		Scheduler:  DefaultConfig(),
+		Service:    ServiceConfig{RoundInterval: time.Millisecond},
+		Durability: DurabilityConfig{Dir: dir, Sync: SyncNone},
+	}
+	svc, _, err := OpenService(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, cancel := svc.Watch()
+	const jobs, tasksPerJob = 32, 16
+	for i := 0; i < jobs; i++ {
+		if _, err := svc.Submit(Batch, 0, make([]TaskSpec, tasksPerJob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	placed := 0
+	for placed < jobs*tasksPerJob {
+		if p := <-events; p.Kind == DecisionPlaced {
+			placed++
+		}
+	}
+	cancel()
+	if err := svc.Close(); err != nil { // cuts the snapshot the restore loads
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, info, err := ReplayJournal(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Restored || info.RunningTasks != jobs*tasksPerJob {
+			b.Fatalf("bad restore: %+v", info)
+		}
+		b.StopTimer()
+		svc.Close()
+		b.StartTimer()
+	}
+}

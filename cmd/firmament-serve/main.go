@@ -221,6 +221,14 @@ func main() {
 			"serve the HTTP front door on this address instead of driving load")
 		remote = flag.String("remote", "",
 			"drive a remote front door at this base URL instead of an in-process service")
+		walDir = flag.String("wal-dir", "",
+			"durable mode: journal every event to this directory and recover from it on start")
+		fsync = flag.String("fsync", "batch",
+			"journal fsync policy: always | batch | none (all flush to the OS before acking)")
+		snapEvery = flag.Int64("snapshot-every", 0,
+			"cut a cluster+graph snapshot every N rounds (0 = default 1024)")
+		replay = flag.String("replay", "",
+			"restore a recorded journal directory, report the recovered state, and exit")
 	)
 	flag.Parse()
 
@@ -250,8 +258,31 @@ func main() {
 	cfg.Mode = m
 	scfg := firmament.ServiceConfig{RoundInterval: *interval, MaxPendingFactor: *pendingFac}
 
+	sync, err := firmament.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	durOpts := func(dir string) firmament.ServiceOptions {
+		return firmament.ServiceOptions{
+			Topology: topo,
+			Model: func(cl *firmament.Cluster) firmament.CostModel {
+				return firmament.NewLoadSpreadPolicy(cl)
+			},
+			Scheduler: cfg,
+			Service:   scfg,
+			Durability: firmament.DurabilityConfig{
+				Dir: dir, Sync: sync, SnapshotEvery: *snapEvery,
+			},
+		}
+	}
+
+	if *replay != "" {
+		runReplay(durOpts(*replay))
+		return
+	}
+
 	if *listen != "" {
-		runServer(*listen, topo, cfg, scfg, *mode)
+		runServer(*listen, topo, cfg, scfg, *mode, *walDir, durOpts)
 		return
 	}
 
@@ -264,8 +295,7 @@ func main() {
 		fmt.Printf("remote front door: %s\n", *remote)
 		d = &remoteDoor{cli: cli, wait: *pendingFac > 0}
 	} else {
-		cl := firmament.NewCluster(topo)
-		svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg, scfg)
+		svc, cl := openService(topo, cfg, scfg, *walDir, durOpts)
 		fmt.Printf("cluster: %d machines in %d racks, %d slots, %d front-door shards\n",
 			cl.NumMachines(), cl.NumRacks(), cl.TotalSlots(), cl.NumShards())
 		d = &localDoor{svc: svc, wait: *pendingFac > 0}
@@ -276,13 +306,67 @@ func main() {
 	runDriver(d, *submitters, *tasksPerJob, *duration, *perSub)
 }
 
+// openService builds the in-process service: plain in-memory, or — with
+// -wal-dir — durable, recovering whatever a previous run journaled there.
+func openService(topo firmament.Topology, cfg firmament.Config, scfg firmament.ServiceConfig,
+	walDir string, durOpts func(string) firmament.ServiceOptions) (*firmament.SchedulerService, *firmament.Cluster) {
+	if walDir == "" {
+		cl := firmament.NewCluster(topo)
+		return firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg, scfg), cl
+	}
+	svc, info, err := firmament.OpenService(durOpts(walDir))
+	if err != nil {
+		log.Fatalf("open journal %s: %v", walDir, err)
+	}
+	logRestore(walDir, info)
+	return svc, svc.Cluster()
+}
+
+// logRestore narrates what recovery found, so operators (and the crash
+// smoke) can see a restart recovered rather than restarted empty.
+func logRestore(dir string, info *firmament.RestoreInfo) {
+	if info.Restored || info.ReplayedRecords > 0 {
+		log.Printf("recovered journal %s: snapshot at round %d, %d records (%d rounds) replayed, "+
+			"%d pending ops; %d running / %d pending tasks",
+			dir, info.SnapshotRound, info.ReplayedRecords, info.ReplayedRounds,
+			info.PendingOps, info.RunningTasks, info.PendingTasks)
+	} else {
+		log.Printf("journal %s: fresh (nothing to recover)", dir)
+	}
+}
+
+// runReplay restores a recorded journal into a detached in-memory service,
+// reports the recovered state, and exits — the -replay inspection workflow.
+func runReplay(opts firmament.ServiceOptions) {
+	svc, info, err := firmament.ReplayJournal(opts)
+	if err != nil {
+		log.Fatalf("replay %s: %v", opts.Durability.Dir, err)
+	}
+	logRestore(opts.Durability.Dir, info)
+	cl := svc.Cluster()
+	st := svc.Stats()
+	fmt.Printf("cluster: %d machines in %d racks, %d slots\n",
+		cl.NumMachines(), cl.NumRacks(), cl.TotalSlots())
+	fmt.Printf("state: %d rounds, %d submitted, %d placed, %d completed, "+
+		"%d running, %d pending\n",
+		st.Rounds, st.Submitted, st.Placed, st.Completed, st.Running, st.Pending)
+	fmt.Printf("churn: %d migrated, %d preempted, %d stale completions, "+
+		"%d stale machine ops, %d stale decisions\n",
+		st.Migrated, st.Preempted, st.StaleCompletions, st.StaleMachineOps, st.StaleDecisions)
+	fmt.Printf("solver: %d warm starts, %d full restarts\n",
+		st.SolverWarmStarts, st.SolverFullRestarts)
+	if err := svc.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+}
+
 // runServer serves the HTTP front door until SIGINT/SIGTERM, then closes
-// the service (ending watch streams and 503ing new work) and drains the
-// listener.
+// the service (ending watch streams, 503ing new work, and — in durable
+// mode — cutting a final snapshot) and drains the listener.
 func runServer(addr string, topo firmament.Topology, cfg firmament.Config,
-	scfg firmament.ServiceConfig, mode string) {
-	cl := firmament.NewCluster(topo)
-	svc := firmament.NewService(cl, firmament.NewLoadSpreadPolicy(cl), cfg, scfg)
+	scfg firmament.ServiceConfig, mode, walDir string,
+	durOpts func(string) firmament.ServiceOptions) {
+	svc, cl := openService(topo, cfg, scfg, walDir, durOpts)
 	srv := &http.Server{Addr: addr, Handler: firmament.NewAPIServer(svc)}
 
 	fmt.Printf("cluster: %d machines in %d racks, %d slots, %d front-door shards\n",

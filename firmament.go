@@ -91,6 +91,7 @@ import (
 	"firmament/internal/sim"
 	"firmament/internal/storage"
 	"firmament/internal/trace"
+	"firmament/internal/wal"
 )
 
 // Cluster state substrate (paper §2).
@@ -317,6 +318,57 @@ var (
 // subscribes to placement decisions; Close stops the loop.
 func NewService(cl *Cluster, model CostModel, cfg Config, scfg ServiceConfig) *SchedulerService {
 	return service.New(cl, model, cfg, scfg)
+}
+
+// Durability: the write-ahead event journal with snapshot/restore (see
+// docs/durability.md). OpenService builds a crash-recoverable service;
+// ReplayJournal rebuilds state from a recorded journal for inspection.
+type (
+	// ServiceOptions configures OpenService: topology, policy constructor,
+	// solver and serving configuration, and the journal itself.
+	ServiceOptions = service.Options
+	// DurabilityConfig configures the journal directory, fsync policy and
+	// snapshot cadence.
+	DurabilityConfig = service.DurabilityConfig
+	// RestoreInfo reports what OpenService recovered.
+	RestoreInfo = service.RestoreInfo
+	// SyncPolicy selects when journal appends reach stable storage.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// Journal fsync policies. All of them flush acknowledged records to the OS,
+// so a killed process loses nothing acknowledged; they differ in exposure
+// to power loss.
+const (
+	// SyncAlways fsyncs (group-committed) before every acknowledgement.
+	SyncAlways = wal.SyncAlways
+	// SyncBatch fsyncs on a timer (DurabilityConfig.SyncInterval).
+	SyncBatch = wal.SyncBatch
+	// SyncNone leaves fsync to the OS (and snapshot/close barriers).
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncPolicy maps the CLI spelling ("always", "batch", "none") to a
+// SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// OpenService builds a durable scheduling service over the journal
+// directory in opts.Durability.Dir: it restores the latest snapshot if one
+// exists, replays the write-ahead log tail to re-enact everything
+// acknowledged after it, and starts the scheduling loop warm — the restored
+// flow network carries the previous run's flow and potentials, so the first
+// post-restore round solves incrementally instead of from scratch. Close
+// cuts a final snapshot.
+func OpenService(opts ServiceOptions) (*SchedulerService, *RestoreInfo, error) {
+	return service.Open(opts)
+}
+
+// ReplayJournal rebuilds a service from a recorded journal directory and
+// detaches it: the returned service runs in memory over the recovered state
+// and journals nothing further. A recorded journal is thereby a reproducible
+// scenario — restore it, inspect stats, keep driving load.
+func ReplayJournal(opts ServiceOptions) (*SchedulerService, *RestoreInfo, error) {
+	return service.Replay(opts)
 }
 
 // Network front door (internal/api): the HTTP/JSON service API remote

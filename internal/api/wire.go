@@ -147,9 +147,14 @@ type Stats struct {
 	Preempted           int64 `json:"preempted"`
 	Completed           int64 `json:"completed"`
 	StaleCompletions    int64 `json:"stale_completions"`
+	StaleMachineOps     int64 `json:"stale_machine_ops"`
 	StaleDecisions      int64 `json:"stale_decisions"`
 	Unscheduled         int64 `json:"unscheduled"`
 	DroppedPublications int64 `json:"dropped_publications"`
+	SolverWarmStarts    int64 `json:"solver_warm_starts"`
+	SolverFullRestarts  int64 `json:"solver_full_restarts"`
+	Pending             int64 `json:"pending"`
+	Running             int64 `json:"running"`
 
 	QueueDepth       DistSummary `json:"queue_depth"`
 	BatchSize        DistSummary `json:"batch_size"`
@@ -171,9 +176,14 @@ func StatsFromService(st service.Stats) Stats {
 		Preempted:           st.Preempted,
 		Completed:           st.Completed,
 		StaleCompletions:    st.StaleCompletions,
+		StaleMachineOps:     st.StaleMachineOps,
 		StaleDecisions:      st.StaleDecisions,
 		Unscheduled:         st.Unscheduled,
 		DroppedPublications: st.DroppedPublications,
+		SolverWarmStarts:    st.SolverWarmStarts,
+		SolverFullRestarts:  st.SolverFullRestarts,
+		Pending:             st.Pending,
+		Running:             st.Running,
 		QueueDepth:          summarize(st.QueueDepth),
 		BatchSize:           summarize(st.BatchSize),
 		AlgorithmRuntime:    summarize(st.AlgorithmRuntime),

@@ -441,7 +441,31 @@ func (c *Cluster) SlotUtilization() float64 {
 // one shard lock; concurrent submitters whose jobs land on different
 // shards proceed without contention.
 func (c *Cluster) SubmitJob(class JobClass, priority int, now time.Duration, specs []TaskSpec) *Job {
-	id := JobID(c.nextJob.Add(1) - 1)
+	return c.SubmitJobWithID(c.AllocJobID(), class, priority, now, specs)
+}
+
+// AllocJobID reserves the next job ID without registering anything. The
+// durable front door allocates the ID first, journals the submission under
+// it, and only then registers the job via SubmitJobWithID — guaranteeing
+// the journal record for a job precedes any scheduling record that
+// references it. A reserved ID that is never submitted leaves a harmless
+// gap in the ID space.
+func (c *Cluster) AllocJobID() JobID { return JobID(c.nextJob.Add(1) - 1) }
+
+// SubmitJobWithID registers a job under a caller-supplied ID — one minted
+// by AllocJobID, or one read back from a journal during replay. The
+// allocator is bumped past id so fresh allocations never collide with
+// replayed ones. The caller must not reuse a live job ID.
+func (c *Cluster) SubmitJobWithID(id JobID, class JobClass, priority int, now time.Duration, specs []TaskSpec) *Job {
+	for {
+		cur := c.nextJob.Load()
+		if cur > int32(id) {
+			break
+		}
+		if c.nextJob.CompareAndSwap(cur, int32(id)+1) {
+			break
+		}
+	}
 	job := &Job{
 		ID:         id,
 		Class:      class,
@@ -591,15 +615,18 @@ func (c *Cluster) JobDone(id JobID) bool {
 
 // RemoveMachine marks a machine unhealthy and evicts its tasks back to
 // pending, emitting EventMachineRemoved plus one EventTaskEvicted per task.
-func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
+// It returns an error — without mutating anything — if the machine is
+// unknown or already removed, so callers can account for stale operations
+// instead of losing them silently.
+func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) error {
 	if id < 0 || int(id) >= len(c.machines) {
-		return // unknown machine: nothing to remove
+		return fmt.Errorf("cluster: remove of unknown machine %d", id)
 	}
 	c.machMu.Lock()
 	m := c.machines[id]
 	if !m.healthy {
 		c.machMu.Unlock()
-		return
+		return fmt.Errorf("cluster: remove of already-removed machine %d", id)
 	}
 	m.healthy = false
 	c.healthySlots.Add(-int64(m.Slots))
@@ -641,18 +668,21 @@ func (c *Cluster) RemoveMachine(id MachineID, now time.Duration) {
 			c.Hooks.Preempted(t, now)
 		}
 	}
+	return nil
 }
 
-// RestoreMachine returns an unhealthy machine to service.
-func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
+// RestoreMachine returns an unhealthy machine to service. Like
+// RemoveMachine it returns an error, without mutating anything, for an
+// unknown or already-healthy machine.
+func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) error {
 	if id < 0 || int(id) >= len(c.machines) {
-		return // unknown machine: nothing to restore
+		return fmt.Errorf("cluster: restore of unknown machine %d", id)
 	}
 	c.machMu.Lock()
 	m := c.machines[id]
 	if m.healthy {
 		c.machMu.Unlock()
-		return
+		return fmt.Errorf("cluster: restore of machine %d not removed", id)
 	}
 	m.healthy = true
 	c.healthySlots.Add(int64(m.Slots))
@@ -663,6 +693,7 @@ func (c *Cluster) RestoreMachine(id MachineID, now time.Duration) {
 	msh.events = append(msh.events, Event{Kind: EventMachineAdded, Machine: id, Time: now})
 	c.numEvents.Add(1)
 	msh.mu.Unlock()
+	return nil
 }
 
 // DrainEvents returns all events logged since the previous drain and clears

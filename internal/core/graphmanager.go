@@ -61,6 +61,14 @@ type GraphManager struct {
 	// sink first, preserving feasibility for incremental cost scaling.
 	TaskRemovalHeuristic bool
 
+	// EventTap, when non-nil, observes every event batch ApplyClusterEvents
+	// drains, before it is folded into the graph. The serving layer's
+	// journal records the batches so that replay can feed the graph update
+	// the exact same event groupings the live run saw — a submission that
+	// straddled a round boundary is replayed into the same round it
+	// originally landed in. The slice is only valid during the call.
+	EventTap func([]cluster.Event)
+
 	// DrainLog, when non-nil, records the surviving arcs the removal
 	// heuristic drained, so experiments can reconstruct the non-drained
 	// state on a graph clone (Figure 12b's controlled comparison).
@@ -255,6 +263,9 @@ func (gm *GraphManager) drainTaskFlow(taskNode flow.NodeID) {
 func (gm *GraphManager) ApplyClusterEvents() int {
 	n := 0
 	gm.cl.DrainEventShards(func(events []cluster.Event) {
+		if gm.EventTap != nil {
+			gm.EventTap(events)
+		}
 		gm.ApplyEvents(events)
 		n += len(events)
 	})
@@ -305,11 +316,20 @@ func (gm *GraphManager) updateAggregators(now time.Duration) {
 			gm.changes.Record(flow.Change{Kind: flow.ChangeAddNode, Node: n})
 		}
 	}
-	// Retire aggregators the policy no longer wants.
-	for id, n := range gm.aggNode {
-		if want[id] {
-			continue
+	// Retire aggregators the policy no longer wants, in sorted order: node
+	// removal feeds the graph's free lists, so removal order determines the
+	// IDs future allocations get — map iteration order here would make
+	// otherwise identical runs diverge (the crash-recovery replay relies on
+	// graph mutations being a pure function of cluster state).
+	var retired []policy.AggID
+	for id := range gm.aggNode {
+		if !want[id] {
+			retired = append(retired, id)
 		}
+	}
+	sortAggIDs(retired)
+	for _, id := range retired {
+		n := gm.aggNode[id]
 		// Task arc records pointing at this aggregator die with it.
 		for _, arcs := range gm.taskArcs {
 			for target := range arcs {
@@ -348,12 +368,23 @@ func (gm *GraphManager) updateAggregators(now time.Duration) {
 				gm.changes.Record(flow.Change{Kind: flow.ChangeAddArc, Arc: a})
 			}
 		}
-		for k, a := range arcs {
+		var dead []machineArcKey
+		for k := range arcs {
 			if !seen[k] {
-				gm.g.RemoveArc(a)
-				delete(arcs, k)
-				gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+				dead = append(dead, k)
 			}
+		}
+		sort.Slice(dead, func(i, j int) bool {
+			if dead[i].machine != dead[j].machine {
+				return dead[i].machine < dead[j].machine
+			}
+			return dead[i].key < dead[j].key
+		})
+		for _, k := range dead {
+			a := arcs[k]
+			gm.g.RemoveArc(a)
+			delete(arcs, k)
+			gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
 		}
 		// Aggregator-to-aggregator arcs (e.g. Quincy's X → racks).
 		if gm.hier != nil {
@@ -374,12 +405,18 @@ func (gm *GraphManager) updateAggregators(now time.Duration) {
 					gm.changes.Record(flow.Change{Kind: flow.ChangeAddArc, Arc: a})
 				}
 			}
-			for to, a := range aarcs {
+			var deadAgg []policy.AggID
+			for to := range aarcs {
 				if !seenAgg[to] {
-					gm.g.RemoveArc(a)
-					delete(aarcs, to)
-					gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+					deadAgg = append(deadAgg, to)
 				}
+			}
+			sortAggIDs(deadAgg)
+			for _, to := range deadAgg {
+				a := aarcs[to]
+				gm.g.RemoveArc(a)
+				delete(aarcs, to)
+				gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
 			}
 		}
 	}
@@ -424,14 +461,41 @@ func (gm *GraphManager) updateTasks(now time.Duration) {
 				gm.changes.Record(flow.Change{Kind: flow.ChangeAddArc, Arc: a})
 			}
 		}
-		for target, a := range arcs {
+		var dead []policy.ArcTarget
+		for target := range arcs {
 			if !seen[target] {
-				gm.g.RemoveArc(a)
-				delete(arcs, target)
-				gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+				dead = append(dead, target)
 			}
 		}
+		sort.Slice(dead, func(i, j int) bool { return targetLess(dead[i], dead[j]) })
+		for _, target := range dead {
+			a := arcs[target]
+			gm.g.RemoveArc(a)
+			delete(arcs, target)
+			gm.changes.Record(flow.Change{Kind: flow.ChangeRemoveArc, Arc: a})
+		}
 	}
+}
+
+// aggLess orders aggregator IDs by (kind, index).
+func aggLess(a, b policy.AggID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Index < b.Index
+}
+
+func sortAggIDs(ids []policy.AggID) {
+	sort.Slice(ids, func(i, j int) bool { return aggLess(ids[i], ids[j]) })
+}
+
+// targetLess orders arc targets: machine targets by ID first, then
+// aggregator targets by (kind, index).
+func targetLess(a, b policy.ArcTarget) bool {
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	return aggLess(a.Agg, b.Agg)
 }
 
 func (gm *GraphManager) updateMachineCapacities() {

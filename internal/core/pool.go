@@ -54,6 +54,17 @@ type PoolResult struct {
 	RelaxationTime  time.Duration // runtime of relaxation (0 if not run/won race late)
 	CostScalingTime time.Duration
 	PriceRefineTime time.Duration
+
+	// Incremental reports that this run's cost scaling attempt completed
+	// as a true warm start (prior flow and potentials reused). FullRestart
+	// reports the opposite: the incremental attempt had to fall back to a
+	// from-scratch solve. Both are false in modes that never run
+	// incremental cost scaling. The crash-recovery smoke test watches
+	// these: a restored server's first solve must warm-start (Fig. 11's
+	// ~70x gap is the recovery win), so FullRestart there means the
+	// snapshot failed to carry the solver state.
+	Incremental bool
+	FullRestart bool
 }
 
 // SolverPool orchestrates the speculative dual-algorithm execution of paper
@@ -111,7 +122,8 @@ func (p *SolverPool) Solve(g *flow.Graph, changes *flow.ChangeSet) (PoolResult, 
 		}
 		pr := p.refine(g, nil)
 		return PoolResult{Winner: res.Algorithm, Cost: res.Cost,
-			AlgorithmTime: res.Runtime, CostScalingTime: res.Runtime, PriceRefineTime: pr}, nil
+			AlgorithmTime: res.Runtime, CostScalingTime: res.Runtime, PriceRefineTime: pr,
+			Incremental: !res.FullRestart, FullRestart: res.FullRestart}, nil
 	case ModeQuincy:
 		res, err := p.cs.Solve(g, p.opts(nil))
 		if err != nil {
@@ -215,9 +227,21 @@ func (p *SolverPool) solveSpeculative(g *flow.Graph, changes *flow.ChangeSet) (P
 	}
 	if csOut.err == nil {
 		res.CostScalingTime = csOut.res.Runtime
+		res.Incremental = !csOut.res.FullRestart
+		res.FullRestart = csOut.res.FullRestart
 	}
 	return res, nil
 }
+
+// SolverScale returns the cost scaling solver's internal cost multiplier —
+// persisted solver state the durable snapshot must carry: graph potentials
+// are stored in this scaled domain, so restoring one without the other
+// voids the warm start.
+func (p *SolverPool) SolverScale() int64 { return p.cs.Scale() }
+
+// RestoreSolverScale reinstates a persisted cost multiplier. Only the
+// snapshot recovery path may call this, together with a graph restore.
+func (p *SolverPool) RestoreSolverScale(s int64) { p.cs.SetScale(s) }
 
 // refine applies price refine to the optimal solution on g, finding
 // potentials that satisfy complementary slackness in cost scaling's scaled

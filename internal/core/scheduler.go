@@ -100,8 +100,30 @@ func (st RoundStats) AlgorithmRuntime() time.Duration { return st.Pool.Algorithm
 // ApplyRound (typically after the algorithm runtime has elapsed in
 // simulation time) to enact the decisions.
 func (s *Scheduler) Schedule(now time.Duration) (*Round, error) {
+	return s.schedule(now, s.gm.ApplyClusterEvents)
+}
+
+// ReplayRound is Schedule for the crash-recovery replay path: instead of
+// draining the cluster's own event journals it folds the recorded event
+// batches of the original round, so the graph receives exactly the event
+// groupings the live run saw. Everything else — the policy diff, the
+// (warm-started) solve, placement extraction — runs identically; with a
+// deterministic solver mode the resulting graph is bit-for-bit the one the
+// live run held after that round.
+func (s *Scheduler) ReplayRound(now time.Duration, batches [][]cluster.Event) (*Round, error) {
+	return s.schedule(now, func() int {
+		n := 0
+		for _, b := range batches {
+			s.gm.ApplyEvents(b)
+			n += len(b)
+		}
+		return n
+	})
+}
+
+func (s *Scheduler) schedule(now time.Duration, drain func() int) (*Round, error) {
 	t0 := time.Now()
-	nevents := s.gm.ApplyClusterEvents()
+	nevents := drain()
 	s.gm.UpdateRound(now)
 	updateTime := time.Since(t0)
 
@@ -164,11 +186,20 @@ func (k DecisionKind) String() string {
 }
 
 // Decision is one enacted action of a scheduling round: the serving layer
-// publishes these to placement subscribers.
+// publishes these to placement subscribers and journals them for replay.
 type Decision struct {
 	Task    cluster.TaskID
 	Kind    DecisionKind
 	Machine cluster.MachineID // destination for Placed/Migrated, InvalidMachine otherwise
+
+	// Job and SubmitTime are resolved from the task record BEFORE the
+	// decision mutates cluster state. Consumers that need them (placement
+	// latency accounting, journal records) must not look the task up again
+	// afterwards: a completion racing in the same drain batch can remove
+	// the record between enactment and lookup, which used to zero the
+	// published latency.
+	Job        cluster.JobID
+	SubmitTime time.Duration
 }
 
 // ApplyRound enacts a round's decisions against the cluster at virtual time
@@ -200,13 +231,18 @@ func (s *Scheduler) ApplyRoundRecorded(r *Round, now time.Duration, rec func(Dec
 		if t == nil || t.State != cluster.TaskRunning {
 			continue
 		}
+		// Capture decision metadata before any mutation: the record's
+		// lifecycle fields can change (or the record vanish from callers'
+		// view) once the cluster is touched.
+		job, submitted := t.Job, t.SubmitTime
 		want, mapped := r.Mappings[id]
 		switch {
 		case !mapped:
 			if err := s.cl.Preempt(id, now); err == nil {
 				st.Preempted++
 				if rec != nil {
-					rec(Decision{Task: id, Kind: DecisionPreempted, Machine: cluster.InvalidMachine})
+					rec(Decision{Task: id, Kind: DecisionPreempted, Machine: cluster.InvalidMachine,
+						Job: job, SubmitTime: submitted})
 				}
 			} else {
 				st.Stale++
@@ -217,12 +253,22 @@ func (s *Scheduler) ApplyRoundRecorded(r *Round, now time.Duration, rec func(Dec
 				continue
 			}
 			if err := s.cl.Place(id, want, now); err != nil {
-				st.Stale++ // stays pending; next round retries
+				// The preemption half of the migration WAS enacted; the task
+				// sits pending until the next round retries. Record it —
+				// subscribers and the replay journal must see every state
+				// mutation, not just fully-successful migrations.
+				st.Preempted++
+				st.Stale++ // the placement half went stale
+				if rec != nil {
+					rec(Decision{Task: id, Kind: DecisionPreempted, Machine: cluster.InvalidMachine,
+						Job: job, SubmitTime: submitted})
+				}
 				continue
 			}
 			st.Migrated++
 			if rec != nil {
-				rec(Decision{Task: id, Kind: DecisionMigrated, Machine: want})
+				rec(Decision{Task: id, Kind: DecisionMigrated, Machine: want,
+					Job: job, SubmitTime: submitted})
 			}
 		}
 	}
@@ -231,6 +277,7 @@ func (s *Scheduler) ApplyRoundRecorded(r *Round, now time.Duration, rec func(Dec
 		if t == nil || t.State != cluster.TaskPending {
 			continue
 		}
+		job, submitted := t.Job, t.SubmitTime
 		want, mapped := r.Mappings[id]
 		if !mapped {
 			st.Unscheduled++
@@ -242,7 +289,45 @@ func (s *Scheduler) ApplyRoundRecorded(r *Round, now time.Duration, rec func(Dec
 		}
 		st.Placed++
 		if rec != nil {
-			rec(Decision{Task: id, Kind: DecisionPlaced, Machine: want})
+			rec(Decision{Task: id, Kind: DecisionPlaced, Machine: want,
+				Job: job, SubmitTime: submitted})
+		}
+	}
+	return st
+}
+
+// ApplyDecisions force-applies a recorded decision list — the replay path's
+// counterpart of ApplyRoundRecorded. Instead of deriving actions from a
+// solver round, it enacts exactly the journaled actions, so a replayed
+// cluster transitions through the same states the live run did even if the
+// replayed solve would have chosen differently (the speculative solver race
+// of §6.1 is timing-dependent; the journal is the ground truth). Decisions
+// that cannot be applied count as stale.
+func (s *Scheduler) ApplyDecisions(ds []Decision, now time.Duration) ApplyStats {
+	var st ApplyStats
+	for _, d := range ds {
+		var err error
+		switch d.Kind {
+		case DecisionPlaced:
+			err = s.cl.Place(d.Task, d.Machine, now)
+		case DecisionMigrated:
+			if err = s.cl.Preempt(d.Task, now); err == nil {
+				err = s.cl.Place(d.Task, d.Machine, now)
+			}
+		case DecisionPreempted:
+			err = s.cl.Preempt(d.Task, now)
+		}
+		if err != nil {
+			st.Stale++
+			continue
+		}
+		switch d.Kind {
+		case DecisionPlaced:
+			st.Placed++
+		case DecisionMigrated:
+			st.Migrated++
+		case DecisionPreempted:
+			st.Preempted++
 		}
 	}
 	return st

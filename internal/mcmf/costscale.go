@@ -52,6 +52,12 @@ func (c *CostScaling) Name() string { return "cost-scaling" }
 // scaled domain).
 func (c *CostScaling) Scale() int64 { return c.scale }
 
+// SetScale restores a persisted cost multiplier. Only the snapshot
+// recovery path may call this, and only together with restoring the graph
+// potentials that were stored in that scaled domain; mismatched scale and
+// potentials void the solver's epsilon-optimality reasoning.
+func (c *CostScaling) SetScale(s int64) { c.scale = s }
+
 // ScaleFor returns the cost multiplier the solver will use for g,
 // establishing it if not yet set. The solver pool price-refines winning
 // solutions in this scaled domain so the next incremental run can start
@@ -101,7 +107,9 @@ func (c *CostScaling) SolveIncremental(g *flow.Graph, changes *flow.ChangeSet, o
 		g.ResetPotentials()
 		c.ensureScale(g, true)
 		eps := c.maxScaledCost(g)
-		return c.run(g, eps, start, opts)
+		res, err := c.run(g, eps, start, opts)
+		res.FullRestart = true
+		return res, err
 	}
 	eps := c.maxViolation(g)
 	if eps < 1 {

@@ -82,6 +82,13 @@ type Result struct {
 	Cost       int64 // total cost of the final flow (paper Eq. 1)
 	Runtime    time.Duration
 	Iterations int64 // algorithm-specific primal/dual iteration count
+
+	// FullRestart reports that an incremental solve could not use the
+	// stored potentials and fell back to a from-scratch run. The serving
+	// layer surfaces this in its stats: the crash-recovery smoke test
+	// asserts that the first round after a restore warm-starts (no full
+	// restart), which is the recovery win of the paper's Fig. 11 gap.
+	FullRestart bool
 }
 
 // Solver is a from-scratch MCMF algorithm. Solve discards any prior flow

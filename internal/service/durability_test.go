@@ -1,0 +1,487 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"firmament/internal/cluster"
+	"firmament/internal/core"
+	"firmament/internal/policy"
+	"firmament/internal/wal"
+)
+
+// detCfg is the deterministic solver configuration the equivalence tests
+// run under: incremental cost scaling only, so twin runs with identical
+// inputs produce bit-identical flow networks (ModeFirmament's speculative
+// race is timing-dependent by design).
+func detCfg() core.Config {
+	c := core.DefaultConfig()
+	c.Mode = core.ModeIncrementalCostScaling
+	return c
+}
+
+// manualService builds a non-durable service whose rounds the test drives
+// by hand (no scheduling loop), on an injectable virtual clock.
+func manualService(topo cluster.Topology, clock *time.Duration) *Service {
+	cl := cluster.New(topo)
+	s := newService(cl, policy.NewLoadSpread(cl), detCfg(), Config{})
+	s.testHookNow = func() time.Duration { return *clock }
+	return s
+}
+
+// manualDurable builds (or restores) a durable service over dir, loop not
+// started. It mirrors Open minus the goroutines.
+func manualDurable(t *testing.T, dir string, clock *time.Duration) (*Service, *RestoreInfo) {
+	t.Helper()
+	dur := DurabilityConfig{
+		Dir:           dir,
+		Sync:          wal.SyncNone, // flushed-on-ack is what a kill -9 test needs
+		SnapshotEvery: 4,            // several snapshot cuts within a short run
+		Retain:        2,
+		SegmentBytes:  4096, // force segment rotation too
+	}.withDefaults()
+	opts := Options{
+		Topology:   cluster.Topology{Racks: 2, MachinesPerRack: 2, SlotsPerMachine: 4},
+		Model:      func(cl *cluster.Cluster) policy.CostModel { return policy.NewLoadSpread(cl) },
+		Scheduler:  detCfg(),
+		Durability: dur,
+	}
+	log, err := wal.Open(dir, wal.Options{SegmentBytes: dur.SegmentBytes, Sync: dur.Sync})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	s, info, err := buildFromJournal(opts, dur, log)
+	if err != nil {
+		t.Fatalf("buildFromJournal: %v", err)
+	}
+	s.testHookNow = func() time.Duration { return *clock }
+	return s, info
+}
+
+// TestStaleMachineOpsCounted is the regression test for the silent op-loss
+// fix: machine remove/restore ops whose target state already moved on used
+// to vanish without a trace — they must now count as StaleMachineOps.
+func TestStaleMachineOpsCounted(t *testing.T) {
+	var clock time.Duration
+	s := manualService(cluster.Topology{Racks: 1, MachinesPerRack: 4, SlotsPerMachine: 2}, &clock)
+
+	// Two removes of machine 1 (second is stale) and a restore of the
+	// never-removed machine 2 (stale).
+	for _, id := range []cluster.MachineID{1, 1} {
+		if err := s.RemoveMachine(id); err != nil {
+			t.Fatalf("RemoveMachine(%d): %v", id, err)
+		}
+	}
+	if err := s.RestoreMachine(2); err != nil {
+		t.Fatalf("RestoreMachine(2): %v", err)
+	}
+	clock = time.Millisecond
+	if _, err := s.runRound(); err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+
+	st := s.Stats()
+	if st.StaleMachineOps != 2 {
+		t.Fatalf("StaleMachineOps = %d, want 2 (one duplicate remove + one bogus restore)", st.StaleMachineOps)
+	}
+	if s.cl.Machine(1).Healthy() {
+		t.Fatal("machine 1 should have been removed by the non-stale op")
+	}
+	if !s.cl.Machine(2).Healthy() {
+		t.Fatal("machine 2 must be untouched by the stale restore")
+	}
+}
+
+// TestPlacementMetadataUnderChurn is the regression test for the latency
+// fix: placements published in a round that also drained completions must
+// still carry the task's job and a positive submission→placement latency.
+// The old code looked the task record up again after the decisions had
+// mutated cluster state, and zeroed both on a lookup miss.
+func TestPlacementMetadataUnderChurn(t *testing.T) {
+	var clock time.Duration
+	s := manualService(cluster.Topology{Racks: 1, MachinesPerRack: 2, SlotsPerMachine: 2}, &clock)
+	events, cancel := s.Watch()
+	defer cancel()
+
+	jobA, err := s.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	clock = time.Millisecond
+	if _, err := s.runRound(); err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+
+	// Complete A's task and submit B so the next round's drain batch holds
+	// the completion and the round places B — the complete-then-place race.
+	if err := s.Complete(jobA.Tasks[0]); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	clock = 2 * time.Millisecond
+	jobB, err := s.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	clock = 5 * time.Millisecond
+	if _, err := s.runRound(); err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+
+	var sawB bool
+	for len(events) > 0 {
+		p := <-events
+		if p.Kind != core.DecisionPlaced {
+			continue
+		}
+		if p.Job == 0 && p.Task != jobA.Tasks[0] {
+			t.Fatalf("placement of task %d lost its job ID", p.Task)
+		}
+		if p.Task == jobB.Tasks[0] {
+			sawB = true
+			if p.Job != jobB.ID {
+				t.Fatalf("placement of B carries job %d, want %d", p.Job, jobB.ID)
+			}
+			if want := 5*time.Millisecond - 2*time.Millisecond; p.Latency != want {
+				t.Fatalf("placement latency %v, want %v (was zeroed under churn)", p.Latency, want)
+			}
+		}
+	}
+	if !sawB {
+		t.Fatal("job B never placed")
+	}
+	if st := s.Stats(); st.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", st.Completed)
+	}
+}
+
+// scriptAction is one step of the random workload script the equivalence
+// test replays against twin services.
+type scriptAction struct {
+	kind    int // 0 submit, 1 complete, 2 remove machine, 3 restore machine
+	tasks   int
+	task    cluster.TaskID
+	machine cluster.MachineID
+}
+
+// genScript builds R rounds of random front-door traffic. Task IDs are
+// deterministic (jobs allocate sequentially from 0), so the same script
+// drives two independent services identically.
+func genScript(rng *rand.Rand, rounds int) [][]scriptAction {
+	script := make([][]scriptAction, rounds)
+	jobs := 0
+	jobTasks := []int{}
+	for r := range script {
+		var acts []scriptAction
+		for i := rng.Intn(3); i > 0; i-- {
+			n := 1 + rng.Intn(3)
+			acts = append(acts, scriptAction{kind: 0, tasks: n})
+			jobs++
+			jobTasks = append(jobTasks, n)
+		}
+		if jobs > 0 {
+			for i := rng.Intn(4); i > 0; i-- {
+				j := rng.Intn(jobs)
+				id := cluster.TaskID(int64(j)<<32 | int64(rng.Intn(jobTasks[j])))
+				acts = append(acts, scriptAction{kind: 1, task: id})
+			}
+		}
+		if rng.Intn(4) == 0 {
+			acts = append(acts, scriptAction{kind: 2, machine: cluster.MachineID(rng.Intn(4))})
+		}
+		if rng.Intn(4) == 0 {
+			acts = append(acts, scriptAction{kind: 3, machine: cluster.MachineID(rng.Intn(4))})
+		}
+		script[r] = acts
+	}
+	return script
+}
+
+func applyScript(t *testing.T, s *Service, acts []scriptAction) {
+	t.Helper()
+	for _, a := range acts {
+		var err error
+		switch a.kind {
+		case 0:
+			_, err = s.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, a.tasks))
+		case 1:
+			err = s.Complete(a.task) // staleness is part of the workload
+		case 2:
+			err = s.RemoveMachine(a.machine)
+		case 3:
+			err = s.RestoreMachine(a.machine)
+		}
+		if err != nil {
+			t.Fatalf("script action %+v: %v", a, err)
+		}
+	}
+}
+
+// drainPlacements empties a subscriber channel (manual rounds publish
+// synchronously, so everything from prior rounds is buffered).
+func drainPlacements(ch <-chan Placement) []Placement {
+	var out []Placement
+	for len(ch) > 0 {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// TestCrashRecoveryEquivalence is the property-style differential test: a
+// durable service runs N random rounds of traffic, is killed without
+// warning (no graceful snapshot — exactly what kill -9 leaves behind:
+// snapshot cuts plus a flushed WAL tail plus acknowledged-but-unenacted
+// ops), and is restored. The restored service must match an uninterrupted
+// twin that saw the identical workload: cluster tables, flow-graph
+// structure (both via snapshot-encoding fingerprints), counters, and the
+// next round's placements. The restored run must also warm-start — zero
+// from-scratch solves across the whole crash+replay+resume cycle.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const rounds = 10
+			script := genScript(rng, rounds)
+			tail := genScript(rng, 1)[0] // acknowledged after the last round, never enacted
+
+			var clock time.Duration
+			dir := t.TempDir()
+			a, info := manualDurable(t, dir, &clock)
+			if info.Restored || info.ReplayedRecords != 0 {
+				t.Fatalf("fresh dir reported restore: %+v", info)
+			}
+			b := manualService(cluster.Topology{Racks: 2, MachinesPerRack: 2, SlotsPerMachine: 4}, &clock)
+
+			for r := 0; r < rounds; r++ {
+				clock += time.Millisecond
+				applyScript(t, a, script[r])
+				applyScript(t, b, script[r])
+				clock += time.Millisecond
+				if _, err := a.runRound(); err != nil {
+					t.Fatalf("durable round %d: %v", r, err)
+				}
+				if _, err := b.runRound(); err != nil {
+					t.Fatalf("twin round %d: %v", r, err)
+				}
+			}
+			// Traffic acknowledged after the last round: it must survive the
+			// crash as pending work.
+			clock += time.Millisecond
+			applyScript(t, a, tail)
+			applyScript(t, b, tail)
+
+			// Kill A: drop it on the floor. Everything acknowledged was
+			// flushed; nothing was gracefully snapshot.
+			aWatch, aCancel := a.Watch()
+			defer aCancel()
+			_ = aWatch // subscriber on the dead service must not matter
+
+			a2, info2 := manualDurable(t, dir, &clock)
+			if !info2.Restored {
+				t.Fatal("expected a snapshot restore")
+			}
+			if info2.ReplayedRounds == 0 {
+				t.Fatal("expected journal tail rounds past the snapshot")
+			}
+			if info2.PendingOps == 0 && len(tail) > 1 {
+				t.Logf("note: tail script had no queued ops (submits only)")
+			}
+
+			if got, want := a2.cl.Fingerprint(), b.cl.Fingerprint(); got != want {
+				t.Fatalf("cluster fingerprint diverged after restore: %x != %x", got, want)
+			}
+			if got, want := a2.sched.Fingerprint(), b.sched.Fingerprint(); got != want {
+				t.Fatalf("scheduler fingerprint diverged after restore: %x != %x", got, want)
+			}
+			compareCounters(t, "post-restore", a2.Stats(), b.Stats())
+
+			// One more round on both: the placements must be identical and
+			// the restored solver must never fall back to from-scratch.
+			wa, cancelA := a2.Watch()
+			defer cancelA()
+			wb, cancelB := b.Watch()
+			defer cancelB()
+			clock += time.Millisecond
+			extra := genScript(rng, 1)[0]
+			applyScript(t, a2, extra)
+			applyScript(t, b, extra)
+			clock += time.Millisecond
+			if _, err := a2.runRound(); err != nil {
+				t.Fatalf("post-restore round: %v", err)
+			}
+			if _, err := b.runRound(); err != nil {
+				t.Fatalf("twin final round: %v", err)
+			}
+			pa, pb := drainPlacements(wa), drainPlacements(wb)
+			if len(pa) != len(pb) {
+				t.Fatalf("placement count diverged: restored %d, twin %d", len(pa), len(pb))
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("placement %d diverged:\nrestored: %+v\ntwin:     %+v", i, pa[i], pb[i])
+				}
+			}
+			if got, want := a2.cl.Fingerprint(), b.cl.Fingerprint(); got != want {
+				t.Fatalf("cluster fingerprint diverged after extra round: %x != %x", got, want)
+			}
+			if got, want := a2.sched.Fingerprint(), b.sched.Fingerprint(); got != want {
+				t.Fatalf("scheduler fingerprint diverged after extra round: %x != %x", got, want)
+			}
+			st := a2.Stats()
+			if st.SolverFullRestarts != b.Stats().SolverFullRestarts {
+				t.Fatalf("restored run's full restarts %d != twin's %d — the snapshot failed to carry the warm state",
+					st.SolverFullRestarts, b.Stats().SolverFullRestarts)
+			}
+			if st.SolverWarmStarts == 0 {
+				t.Fatal("no warm starts recorded across restore")
+			}
+		})
+	}
+}
+
+func compareCounters(t *testing.T, when string, a, b Stats) {
+	t.Helper()
+	type pair struct {
+		name string
+		a, b int64
+	}
+	for _, p := range []pair{
+		{"Rounds", a.Rounds, b.Rounds},
+		{"Submitted", a.Submitted, b.Submitted},
+		{"Placed", a.Placed, b.Placed},
+		{"Migrated", a.Migrated, b.Migrated},
+		{"Preempted", a.Preempted, b.Preempted},
+		{"Completed", a.Completed, b.Completed},
+		{"StaleCompletions", a.StaleCompletions, b.StaleCompletions},
+		{"StaleMachineOps", a.StaleMachineOps, b.StaleMachineOps},
+		{"StaleDecisions", a.StaleDecisions, b.StaleDecisions},
+		{"Unscheduled", a.Unscheduled, b.Unscheduled},
+		{"Pending", a.Pending, b.Pending},
+		{"Running", a.Running, b.Running},
+	} {
+		if p.a != p.b {
+			t.Errorf("%s: %s = %d, twin has %d", when, p.name, p.a, p.b)
+		}
+	}
+}
+
+// TestDurableGracefulRestart exercises the public Open path end to end: a
+// real service (loop running) takes traffic, closes gracefully (final
+// snapshot), and reopens with everything intact and zero replay.
+func TestDurableGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Topology:   cluster.Topology{Racks: 1, MachinesPerRack: 4, SlotsPerMachine: 4},
+		Model:      func(cl *cluster.Cluster) policy.CostModel { return policy.NewLoadSpread(cl) },
+		Scheduler:  detCfg(),
+		Service:    Config{RoundInterval: 200 * time.Microsecond},
+		Durability: DurabilityConfig{Dir: dir, Sync: wal.SyncBatch, SyncInterval: time.Millisecond},
+	}
+	svc, info, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if info.Restored {
+		t.Fatal("fresh dir reported a restore")
+	}
+	events, cancel := svc.Watch()
+	job, err := svc.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 8))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	placed := make(map[cluster.TaskID]bool)
+	drainUntil(t, events, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced {
+			placed[p.Task] = true
+		}
+		return len(placed) == 8
+	})
+	cancel()
+	stBefore := svc.Stats()
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	svc2, info2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close()
+	if !info2.Restored {
+		t.Fatal("expected snapshot restore")
+	}
+	if info2.ReplayedRounds != 0 {
+		t.Fatalf("graceful close left %d rounds to replay", info2.ReplayedRounds)
+	}
+	if info2.RunningTasks != 8 {
+		t.Fatalf("restored %d running tasks, want 8", info2.RunningTasks)
+	}
+	st := svc2.Stats()
+	if st.Placed != stBefore.Placed || st.Submitted != stBefore.Submitted {
+		t.Fatalf("counters lost: placed %d/%d submitted %d/%d",
+			st.Placed, stBefore.Placed, st.Submitted, stBefore.Submitted)
+	}
+	if svc2.cl.Job(job.ID) == nil {
+		t.Fatalf("job %d lost across restart", job.ID)
+	}
+	// The restored service must still schedule: complete everything and
+	// submit another job.
+	events2, cancel2 := svc2.Watch()
+	defer cancel2()
+	for _, id := range job.Tasks {
+		if err := svc2.Complete(id); err != nil {
+			t.Fatalf("Complete(%d): %v", id, err)
+		}
+	}
+	job2, err := svc2.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 4))
+	if err != nil {
+		t.Fatalf("Submit after restore: %v", err)
+	}
+	placed2 := make(map[cluster.TaskID]bool)
+	drainUntil(t, events2, 10*time.Second, func(p Placement) bool {
+		if p.Kind == core.DecisionPlaced && p.Job == job2.ID {
+			placed2[p.Task] = true
+		}
+		return len(placed2) == 4
+	})
+	if st := svc2.Stats(); st.SolverFullRestarts != 0 {
+		t.Fatalf("restored service paid %d from-scratch solves", st.SolverFullRestarts)
+	}
+}
+
+// TestOpenReplaysWALWithoutSnapshot covers the crash-before-first-snapshot
+// path: a journal with records but no snapshot must replay from scratch.
+func TestOpenReplaysWALWithoutSnapshot(t *testing.T) {
+	var clock time.Duration
+	dir := t.TempDir()
+	a, _ := manualDurable(t, dir, &clock)
+	clock = time.Millisecond
+	job, err := a.Submit(cluster.Batch, 0, make([]cluster.TaskSpec, 3))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	clock = 2 * time.Millisecond
+	if _, err := a.runRound(); err != nil {
+		t.Fatalf("runRound: %v", err)
+	}
+	// Crash with zero snapshots cut (SnapshotEvery is 4).
+
+	a2, info := manualDurable(t, dir, &clock)
+	if info.Restored {
+		t.Fatal("no snapshot existed, yet Restored is set")
+	}
+	if info.ReplayedRounds != 1 {
+		t.Fatalf("replayed %d rounds, want 1", info.ReplayedRounds)
+	}
+	if a2.cl.Job(job.ID) == nil {
+		t.Fatalf("job %d lost", job.ID)
+	}
+	if got, want := a2.cl.Fingerprint(), a.cl.Fingerprint(); got != want {
+		t.Fatalf("cluster fingerprint diverged: %x != %x", got, want)
+	}
+	if got, want := a2.sched.Fingerprint(), a.sched.Fingerprint(); got != want {
+		t.Fatalf("scheduler fingerprint diverged: %x != %x", got, want)
+	}
+}

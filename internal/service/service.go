@@ -50,6 +50,7 @@ import (
 	"firmament/internal/core"
 	"firmament/internal/metrics"
 	"firmament/internal/policy"
+	"firmament/internal/wal"
 )
 
 // ErrClosed is returned by front-door methods after Close (or after the
@@ -132,11 +133,15 @@ const (
 	opRestoreMachine
 )
 
-// op is one queued front-door mutation awaiting the next round.
+// op is one queued front-door mutation awaiting the next round. seq is the
+// op's journal sequence number (its intent record) when the service is
+// durable, zero otherwise; round records cite it so recovery can tell
+// enacted ops from still-pending ones.
 type op struct {
 	kind    opKind
 	task    cluster.TaskID
 	machine cluster.MachineID
+	seq     uint64
 }
 
 // opShard is one partition of the batched ingestion queue: a mutex-guarded
@@ -186,12 +191,33 @@ type Service struct {
 	// caller a handle that will never be scheduled.
 	closeMu sync.RWMutex
 
+	// Durability (nil/zero when the service is not durable — New). The
+	// journal and its scratch buffers are written by the front door
+	// (submit/intent records) and the scheduling goroutine (round records,
+	// snapshots); see journal.go and recovery.go.
+	jrn *journal
+	dur DurabilityConfig
+	// Loop-owned journaling scratch, reset each round: the event batches
+	// the graph update drained (captured via the GraphManager's EventTap),
+	// the ops enacted, and the decisions applied.
+	roundBatches  [][]cluster.Event
+	enactedOps    []enactedOp
+	recDecisions  []core.Decision
+	lastSnapRound int64
+	closeJrn      sync.Once
+	closeErr      error
+	syncStop      chan struct{} // SyncBatch fsync pacer shutdown
+	syncDone      chan struct{}
+
 	// Test hooks (nil in production): testHookSubmit runs at the top of
 	// submit, before the close guard; testHookBeforeSchedule runs in
 	// runRound between the op drain and the scheduling computation. Both
 	// widen race windows deterministically for regression tests.
+	// testHookNow replaces the virtual clock (crash-recovery equivalence
+	// tests drive twin services with identical timestamps).
 	testHookSubmit         func()
 	testHookBeforeSchedule func()
+	testHookNow            func() time.Duration
 
 	runErrMu sync.Mutex
 	runErr   error
@@ -205,9 +231,12 @@ type Service struct {
 	preempted        atomic.Int64
 	completed        atomic.Int64
 	staleCompletions atomic.Int64
+	staleMachineOps  atomic.Int64
 	staleDecisions   atomic.Int64
 	unscheduled      atomic.Int64
 	dropped          atomic.Int64
+	warmStarts       atomic.Int64
+	fullRestarts     atomic.Int64
 
 	queueDepth       metrics.SyncDist
 	batchSize        metrics.SyncDist
@@ -227,6 +256,12 @@ func New(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg 
 // newService builds the service without starting the scheduling loop.
 // Tests drive rounds by hand through runRound; production code uses New.
 func newService(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Config, cfg Config) *Service {
+	return newServiceWith(cl, core.NewScheduler(cl, model, schedCfg), cfg)
+}
+
+// newServiceWith wraps an existing scheduler — freshly built (newService)
+// or restored from a durable snapshot (Open).
+func newServiceWith(cl *cluster.Cluster, sched *core.Scheduler, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -236,7 +271,7 @@ func newService(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Confi
 	n := cluster.RoundShards(shards)
 	s := &Service{
 		cl:       cl,
-		sched:    core.NewScheduler(cl, model, schedCfg),
+		sched:    sched,
 		cfg:      cfg,
 		start:    time.Now(),
 		opShards: make([]*opShard, n),
@@ -257,9 +292,27 @@ func newService(cl *cluster.Cluster, model policy.CostModel, schedCfg core.Confi
 // Touch it only before submitting work or after Close.
 func (s *Service) Scheduler() *core.Scheduler { return s.sched }
 
-// now is the service's virtual clock: time since construction. The cluster
+// now is the service's virtual clock: time since construction (shifted
+// after a restore so recorded timestamps stay in the past). The cluster
 // never reads a wall clock, so the service feeds it this monotonic offset.
-func (s *Service) now() time.Duration { return time.Since(s.start) }
+func (s *Service) now() time.Duration {
+	if s.testHookNow != nil {
+		return s.testHookNow()
+	}
+	return time.Since(s.start)
+}
+
+// attachJournal makes the service durable: front-door mutations and rounds
+// are journaled from here on. Must run before the scheduling loop starts.
+func (s *Service) attachJournal(log *wal.Log, dur DurabilityConfig) {
+	s.jrn = newJournal(log)
+	s.dur = dur
+	s.sched.GraphManager().EventTap = func(b []cluster.Event) {
+		cp := make([]cluster.Event, len(b))
+		copy(cp, b)
+		s.roundBatches = append(s.roundBatches, cp)
+	}
+}
 
 // backlogLimit returns the admission ceiling on pending tasks, or 0 when
 // backpressure is disabled.
@@ -360,9 +413,34 @@ func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.T
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	job := s.cl.SubmitJob(class, priority, s.now(), specs)
+	now := s.now()
+	if s.jrn == nil {
+		job := s.cl.SubmitJob(class, priority, now, specs)
+		s.submitted.Add(int64(len(specs)))
+		s.wake()
+		return job, nil
+	}
+	// Durable order: reserve the ID, journal the submission under it, then
+	// register it. The in-flight barrier keeps a concurrent snapshot's
+	// low-water mark at or below this record until the job is in the
+	// cluster tables, so recovery either finds the job in the snapshot or
+	// replays this record — never neither.
+	id := s.cl.AllocJobID()
+	var e wal.Enc
+	encodeSubmitRecord(&e, id, class, priority, now, specs)
+	seq, err := s.jrn.appendSubmit(e.B)
+	if err != nil {
+		return nil, err
+	}
+	job := s.cl.SubmitJobWithID(id, class, priority, now, specs)
+	s.jrn.releaseSubmit(seq)
 	s.submitted.Add(int64(len(specs)))
 	s.wake()
+	if err := s.jrn.syncTo(seq); err != nil {
+		// The job is registered and will be scheduled, but its durability
+		// ack failed — surface the disk fault to the caller.
+		return nil, err
+	}
 	return job, nil
 }
 
@@ -398,6 +476,20 @@ func (s *Service) enqueue(key int64, o op) error {
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.jrn != nil {
+		// Journal the intent before queueing: an acknowledged op survives a
+		// crash even if no round ever drained it (recovery re-queues it).
+		var e wal.Enc
+		encodeIntentRecord(&e, o)
+		seq, err := s.jrn.appendIntent(e.B)
+		if err != nil {
+			return err
+		}
+		o.seq = seq
+		if err := s.jrn.syncTo(seq); err != nil {
+			return err
+		}
 	}
 	sh := s.opShards[key&s.opMask]
 	sh.mu.Lock()
@@ -494,6 +586,28 @@ func (s *Service) Close() error {
 	})
 	s.wakeWaiters() // unpark SubmitWait callers
 	<-s.doneCh
+	if s.jrn != nil {
+		s.closeJrn.Do(func() {
+			if s.syncStop != nil {
+				close(s.syncStop)
+				<-s.syncDone
+			}
+			// A clean shutdown cuts a final snapshot (the loop is quiescent,
+			// so it captures everything) and trims the log; after a loop
+			// death the WAL alone is the consistent truth — the dying round
+			// never journaled, so its partial effects must not be snapshot.
+			if s.Err() == nil {
+				if err := s.saveSnapshot(); err != nil {
+					s.closeErr = err
+				} else if err := s.jrn.log.TruncateBefore(s.dur.Retain); err != nil {
+					s.closeErr = err
+				}
+			}
+			if err := s.jrn.log.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		})
+	}
 	s.subMu.Lock()
 	for id, ch := range s.subs {
 		delete(s.subs, id)
@@ -503,7 +617,10 @@ func (s *Service) Close() error {
 	s.subMu.Unlock()
 	s.runErrMu.Lock()
 	defer s.runErrMu.Unlock()
-	return s.runErr
+	if s.runErr != nil {
+		return s.runErr
+	}
+	return s.closeErr
 }
 
 // Err returns the scheduling loop's fatal error, if it has died.
@@ -594,11 +711,18 @@ func (s *Service) pendingWork() bool {
 // events coalesce into the next round's batch.
 func (s *Service) runRound() (progress bool, err error) {
 	t0 := time.Now()
-	round := uint64(s.rounds.Add(1))
+	round := s.rounds.Add(1)
+	durable := s.jrn != nil
+	if durable {
+		s.roundBatches = s.roundBatches[:0]
+		s.enactedOps = s.enactedOps[:0]
+		s.recDecisions = s.recDecisions[:0]
+	}
 
 	// Drain the sharded ingestion queues — one buffer swap per shard.
 	now := s.now()
 	for _, o := range s.drainOps() {
+		stale := false
 		switch o.kind {
 		case opComplete:
 			// A completion can race a preemption the previous round
@@ -606,13 +730,29 @@ func (s *Service) runRound() (progress bool, err error) {
 			// are stale, like any decision against moved-on state.
 			if err := s.cl.Complete(o.task, now); err != nil {
 				s.staleCompletions.Add(1)
+				stale = true
 			} else {
 				s.completed.Add(1)
 			}
 		case opRemoveMachine:
-			s.cl.RemoveMachine(o.machine, now)
+			// A machine op can go stale the same way a completion can: a
+			// remove racing a remove enacted last round, or a restore of a
+			// machine that was never removed. These used to be dropped on
+			// the floor; count them so operators can see lost ops, and
+			// journal the outcome so replay reproduces the no-op.
+			if err := s.cl.RemoveMachine(o.machine, now); err != nil {
+				s.staleMachineOps.Add(1)
+				stale = true
+			}
 		case opRestoreMachine:
-			s.cl.RestoreMachine(o.machine, now)
+			if err := s.cl.RestoreMachine(o.machine, now); err != nil {
+				s.staleMachineOps.Add(1)
+				stale = true
+			}
+		}
+		if durable {
+			s.enactedOps = append(s.enactedOps, enactedOp{
+				seq: o.seq, kind: o.kind, task: o.task, machine: o.machine, stale: stale})
 		}
 	}
 
@@ -633,19 +773,30 @@ func (s *Service) runRound() (progress bool, err error) {
 	// work was actually done.
 	batchEvents := r.Stats.Events
 	s.batchSize.Add(float64(batchEvents))
+	if r.Stats.Pool.Incremental {
+		s.warmStarts.Add(1)
+	}
+	if r.Stats.Pool.FullRestart {
+		s.fullRestarts.Add(1)
+	}
 
 	applyNow := s.now()
 	decisions := make([]Placement, 0, len(r.Mappings))
 	ap := s.sched.ApplyRoundRecorded(r, applyNow, func(d core.Decision) {
-		p := Placement{Task: d.Task, Kind: d.Kind, Machine: d.Machine, Round: round}
-		if t := s.cl.Task(d.Task); t != nil {
-			p.Job = t.Job
-			if d.Kind == core.DecisionPlaced {
-				p.Latency = applyNow - t.SubmitTime
-				s.placementLatency.AddDuration(p.Latency)
-			}
+		// Job and submission time come from the decision itself, resolved
+		// before the cluster was mutated: looking the task up here raced
+		// same-batch completions, which deleted the record and zeroed the
+		// published latency.
+		p := Placement{Task: d.Task, Job: d.Job, Kind: d.Kind, Machine: d.Machine,
+			Round: uint64(round)}
+		if d.Kind == core.DecisionPlaced {
+			p.Latency = applyNow - d.SubmitTime
+			s.placementLatency.AddDuration(p.Latency)
 		}
 		decisions = append(decisions, p)
+		if durable {
+			s.recDecisions = append(s.recDecisions, d)
+		}
 	})
 
 	s.placed.Add(int64(ap.Placed))
@@ -655,12 +806,57 @@ func (s *Service) runRound() (progress bool, err error) {
 	s.unscheduled.Add(int64(ap.Unscheduled))
 	s.algoRuntime.AddDuration(r.Stats.AlgorithmRuntime())
 
+	if durable {
+		// Journal the round before publishing it: nothing becomes visible
+		// to subscribers that recovery could not re-enact.
+		if err := s.journalRound(round, now, applyNow, ap); err != nil {
+			return false, err
+		}
+	}
+
 	s.publish(decisions)
+
+	if durable && round-s.lastSnapRound >= s.dur.SnapshotEvery {
+		if err := s.saveSnapshot(); err != nil {
+			return false, err
+		}
+		s.lastSnapRound = round
+		if err := s.jrn.log.TruncateBefore(s.dur.Retain); err != nil {
+			return false, err
+		}
+	}
 
 	// Queue depth: events that accumulated while this round was in flight.
 	s.queueDepth.Add(float64(s.cl.NumQueuedEvents()))
 	s.roundTime.AddDuration(time.Since(t0))
 	return batchEvents > 0 || len(decisions) > 0, nil
+}
+
+// journalRound appends the round record for the round just enacted and
+// clears its intents from the low-water barrier. The record is flushed to
+// the OS always and fsynced under SyncAlways; losing an un-synced round
+// record to a power cut is safe — recovery re-enacts the round from the
+// intents and submits that precede it (all individually acknowledged), it
+// just re-solves instead of force-applying.
+func (s *Service) journalRound(round int64, drainNow, applyNow time.Duration, ap core.ApplyStats) error {
+	rr := roundRecord{
+		round:          round,
+		drainNow:       drainNow,
+		applyNow:       applyNow,
+		ops:            s.enactedOps,
+		batches:        s.roundBatches,
+		decisions:      s.recDecisions,
+		staleDecisions: uint32(ap.Stale),
+		unscheduled:    uint32(ap.Unscheduled),
+	}
+	var e wal.Enc
+	encodeRoundRecord(&e, &rr)
+	seq, err := s.jrn.log.Append(e.B)
+	if err != nil {
+		return err
+	}
+	s.jrn.consumeIntents(rr.ops)
+	return s.jrn.syncTo(seq)
 }
 
 // publish fans a round's decisions out to all subscribers. Slow subscribers
@@ -698,6 +894,11 @@ type Stats struct {
 	// the previous round enacted: by the time the op drained, the task was
 	// no longer running.
 	StaleCompletions int64
+	// StaleMachineOps counts machine remove/restore ops that no longer
+	// applied when their round drained them (remove of an already-removed
+	// machine, restore of a healthy one). They were silently discarded
+	// before this counter existed.
+	StaleMachineOps int64
 	// StaleDecisions counts round decisions skipped because cluster state
 	// moved on between the solve and the apply (task finished, machine
 	// failed, destination slot taken — core.ApplyStats.Stale).
@@ -706,6 +907,17 @@ type Stats struct {
 	// DroppedPublications counts placement events lost to slow
 	// subscribers.
 	DroppedPublications int64
+	// SolverWarmStarts and SolverFullRestarts count rounds whose
+	// incremental cost scaling run reused the prior flow and potentials
+	// versus falling back to a from-scratch solve. A restored service's
+	// first rounds must warm-start — that is what snapshotting the flow
+	// network buys (paper Fig. 11) — so the crash-recovery smoke asserts
+	// SolverFullRestarts stays zero across a restart.
+	SolverWarmStarts   int64
+	SolverFullRestarts int64
+	// Pending and Running are point-in-time cluster gauges (tasks).
+	Pending int64
+	Running int64
 
 	// QueueDepth samples the cluster event backlog at each round end;
 	// BatchSize the events folded into each round's graph update.
@@ -725,6 +937,11 @@ type Stats struct {
 func (st Stats) Stale() int64 { return st.StaleCompletions + st.StaleDecisions }
 
 // Stats returns a consistent snapshot; safe to call from any goroutine.
+// Cluster returns the cluster state the service schedules over. Open and
+// Replay construct or restore the cluster internally, so this is how their
+// callers reach it.
+func (s *Service) Cluster() *cluster.Cluster { return s.cl }
+
 func (s *Service) Stats() Stats {
 	return Stats{
 		Rounds:              s.rounds.Load(),
@@ -735,9 +952,14 @@ func (s *Service) Stats() Stats {
 		Preempted:           s.preempted.Load(),
 		Completed:           s.completed.Load(),
 		StaleCompletions:    s.staleCompletions.Load(),
+		StaleMachineOps:     s.staleMachineOps.Load(),
 		StaleDecisions:      s.staleDecisions.Load(),
 		Unscheduled:         s.unscheduled.Load(),
 		DroppedPublications: s.dropped.Load(),
+		SolverWarmStarts:    s.warmStarts.Load(),
+		SolverFullRestarts:  s.fullRestarts.Load(),
+		Pending:             int64(s.cl.NumPending()),
+		Running:             int64(s.cl.NumRunning()),
 		QueueDepth:          s.queueDepth.Snapshot(),
 		BatchSize:           s.batchSize.Snapshot(),
 		AlgorithmRuntime:    s.algoRuntime.Snapshot(),

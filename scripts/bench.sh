@@ -3,18 +3,19 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x COUNT=1 scripts/bench.sh /tmp/smoke.json   # CI smoke
-#   scripts/bench.sh BENCH_PR5.json                         # full snapshot
+#   scripts/bench.sh BENCH_PR6.json                         # full snapshot
 #
 # The snapshot records ns/op, B/op and allocs/op for the benchmarks that
 # gate the MCMF hot path (Fig. 3, 7, 11, 14 and the pool's per-round clone)
-# so that later PRs have a perf trajectory to compare against.
+# plus journal restore time, so that later PRs have a perf trajectory to
+# compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-3}"
-pattern='^(BenchmarkFig3QuincyRuntime|BenchmarkFig7Algorithms|BenchmarkFig11Incremental|BenchmarkFig14PlacementLatency|BenchmarkClone)$'
+pattern='^(BenchmarkFig3QuincyRuntime|BenchmarkFig7Algorithms|BenchmarkFig11Incremental|BenchmarkFig14PlacementLatency|BenchmarkClone|BenchmarkRestore)$'
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — end-to-end crash-recovery smoke for the durable journal.
+#
+# Serves the HTTP front door with -wal-dir, drives load over the network,
+# SIGKILLs the server mid-run (no warning, no snapshot), restarts it over
+# the same journal directory, and asserts from /v1/stats that:
+#
+#   1. the restart recovered the acknowledged state — running tasks > 0
+#      (nothing acknowledged was lost to the kill), and
+#   2. the post-restore rounds warm-start — solver_full_restarts == 0
+#      after the restored service schedules new work (the restored flow
+#      network carried its flow and potentials across the crash).
+#
+# Usage: scripts/crash_smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-19191}"
+base="http://127.0.0.1:${port}"
+wal="$(mktemp -d)"
+bin="$(mktemp -d)/firmament-serve"
+trap 'kill "$SERVER" 2>/dev/null || true; rm -rf "$wal" "$(dirname "$bin")"' EXIT
+
+go build -o "$bin" ./cmd/firmament-serve
+
+# stat NAME — pull one counter out of /v1/stats without needing jq.
+stat() {
+    curl -sf "$base/v1/stats" | tr ',{}' '\n\n\n' | awk -F: -v k="\"$1\"" '$1 == k {print $2}'
+}
+
+echo "== start durable server (wal: $wal)"
+"$bin" -listen "127.0.0.1:${port}" -mode inc-cost-scaling -wal-dir "$wal" &
+SERVER=$!
+
+echo "== drive load over the network"
+"$bin" -remote "$base" -submitters 8 -duration 3s -per-submitter=false &
+DRIVER=$!
+sleep 2  # kill mid-run: submissions acknowledged, tasks running, rounds live
+
+echo "== SIGKILL the server mid-round"
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+# The driver loses its server mid-flight — that is the point. Don't wait
+# out its placement watchdog; just take it down.
+kill "$DRIVER" 2>/dev/null || true
+wait "$DRIVER" 2>/dev/null || true
+
+echo "== restart over the same journal"
+"$bin" -listen "127.0.0.1:${port}" -mode inc-cost-scaling -wal-dir "$wal" &
+SERVER=$!
+for _ in $(seq 1 100); do
+    curl -sf "$base/v1/stats" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+running="$(stat running)"
+placed="$(stat placed)"
+echo "recovered: running=$running placed=$placed"
+if [ -z "$running" ] || [ "$running" -le 0 ]; then
+    echo "FAIL: restart recovered zero running tasks — acknowledged work was lost" >&2
+    exit 1
+fi
+
+echo "== schedule new work on the restored service"
+"$bin" -remote "$base" -submitters 4 -duration 2s -per-submitter=false
+
+full="$(stat solver_full_restarts)"
+warm="$(stat solver_warm_starts)"
+echo "solver after restore: warm_starts=$warm full_restarts=$full"
+if [ -z "$full" ] || [ "$full" -ne 0 ]; then
+    echo "FAIL: restored service fell back to $full from-scratch solves" >&2
+    exit 1
+fi
+if [ -z "$warm" ] || [ "$warm" -le 0 ]; then
+    echo "FAIL: restored service recorded no warm starts" >&2
+    exit 1
+fi
+
+echo "== replay the journal offline"
+kill -TERM "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+"$bin" -replay "$wal" -mode inc-cost-scaling
+
+echo "PASS: crash recovery smoke"
