@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -229,6 +230,8 @@ func main() {
 			"cut a cluster+graph snapshot every N rounds (0 = default 1024)")
 		replay = flag.String("replay", "",
 			"restore a recorded journal directory, report the recovered state, and exit")
+		solverPar = flag.Int("solver-parallelism", runtime.GOMAXPROCS(0),
+			"worker goroutines per MCMF solve (1 = strictly sequential, bit-deterministic)")
 	)
 	flag.Parse()
 
@@ -256,6 +259,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 	cfg.Mode = m
+	cfg.SolverParallelism = *solverPar
 	scfg := firmament.ServiceConfig{RoundInterval: *interval, MaxPendingFactor: *pendingFac}
 
 	sync, err := firmament.ParseSyncPolicy(*fsync)

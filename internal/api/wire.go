@@ -155,6 +155,7 @@ type Stats struct {
 	SolverFullRestarts  int64 `json:"solver_full_restarts"`
 	Pending             int64 `json:"pending"`
 	Running             int64 `json:"running"`
+	SolverParallelism   int64 `json:"solver_parallelism"`
 
 	QueueDepth       DistSummary `json:"queue_depth"`
 	BatchSize        DistSummary `json:"batch_size"`
@@ -184,6 +185,7 @@ func StatsFromService(st service.Stats) Stats {
 		SolverFullRestarts:  st.SolverFullRestarts,
 		Pending:             st.Pending,
 		Running:             st.Running,
+		SolverParallelism:   st.SolverParallelism,
 		QueueDepth:          summarize(st.QueueDepth),
 		BatchSize:           summarize(st.BatchSize),
 		AlgorithmRuntime:    summarize(st.AlgorithmRuntime),

@@ -7,6 +7,43 @@ import (
 	"firmament/internal/flow"
 )
 
+// extractScratch is the reusable working storage of ExtractPlacements,
+// indexed by node and arc ID. The token slices keep their capacity across
+// rounds (bounded by the machines' slot counts), so steady-state extraction
+// allocates only the result map it hands to the caller.
+type extractScratch struct {
+	tokens    [][]cluster.MachineID
+	remaining []int64 // per forward arc: unattributed flow
+	remSet    []bool  // remaining[i] initialized this round
+	queued    []bool
+	queue     []flow.NodeID
+}
+
+func (ex *extractScratch) reset(nodeBound, arcBound int) {
+	if cap(ex.tokens) < nodeBound {
+		ex.tokens = append(ex.tokens[:cap(ex.tokens)], make([][]cluster.MachineID, nodeBound-cap(ex.tokens))...)
+	}
+	ex.tokens = ex.tokens[:nodeBound]
+	if cap(ex.queued) < nodeBound {
+		ex.queued = make([]bool, nodeBound)
+	}
+	ex.queued = ex.queued[:nodeBound]
+	for i := range ex.tokens {
+		ex.tokens[i] = ex.tokens[i][:0]
+		ex.queued[i] = false
+	}
+	if cap(ex.remaining) < arcBound {
+		ex.remaining = make([]int64, arcBound)
+		ex.remSet = make([]bool, arcBound)
+	}
+	ex.remaining = ex.remaining[:arcBound]
+	ex.remSet = ex.remSet[:arcBound]
+	for i := range ex.remSet {
+		ex.remSet[i] = false
+	}
+	ex.queue = ex.queue[:0]
+}
+
 // ExtractPlacements implements the task placement extraction algorithm of
 // paper Listing 1, generalized for arbitrary aggregator hierarchies: start
 // from the machine nodes, which know how much flow they drain to the sink,
@@ -16,19 +53,20 @@ import (
 // unscheduled.
 //
 // In the common case the algorithm touches every flow-carrying arc exactly
-// once — a single pass over the graph (paper §6.3).
+// once — a single pass over the graph (paper §6.3). All bookkeeping lives
+// in slices indexed by node/arc ID on the pinned scratch: the flow reads
+// come straight off the residual plane (the flow on a forward in-arc is
+// the residual of its reverse partner, which is exactly the adjacency-row
+// entry in hand), and nothing is hashed in the hot loop.
 func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID {
 	g := gm.g
 	// Extraction runs right after a solve, so the compact index is already
 	// repaired; iterating rows here is free and cache-friendly.
 	adj := g.Adjacency()
+	pl := g.ArcPlanes()
+	ex := &gm.ext
+	ex.reset(g.NodeIDBound(), g.ArcIDBound())
 	mappings := make(map[cluster.TaskID]cluster.MachineID, gm.numTasks)
-	// Tokens waiting at each node to be attributed to incoming flow.
-	tokens := make(map[flow.NodeID][]cluster.MachineID)
-	// Per-arc flow still unattributed (lazily initialized from Flow).
-	remaining := make(map[flow.ArcID]int64)
-	queued := make(map[flow.NodeID]bool)
-	var queue []flow.NodeID
 
 	mids := make([]cluster.MachineID, 0, len(gm.machineNode))
 	for mid := range gm.machineNode {
@@ -41,36 +79,38 @@ func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID
 		if f <= 0 {
 			continue
 		}
-		ts := make([]cluster.MachineID, f)
-		for i := range ts {
-			ts[i] = mid
+		ts := ex.tokens[mnode]
+		for i := int64(0); i < f; i++ {
+			ts = append(ts, mid)
 		}
-		tokens[mnode] = ts
-		queue = append(queue, mnode)
-		queued[mnode] = true
+		ex.tokens[mnode] = ts
+		ex.queue = append(ex.queue, mnode)
+		ex.queued[mnode] = true
 	}
 
-	for len(queue) > 0 {
-		node := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		queued[node] = false
+	for len(ex.queue) > 0 {
+		node := ex.queue[len(ex.queue)-1]
+		ex.queue = ex.queue[:len(ex.queue)-1]
+		ex.queued[node] = false
 
 		if tid, isTask := gm.nodeTask[node]; isTask {
 			// A task holds exactly one unit of flow; its (single) token is
 			// its placement.
-			if ts := tokens[node]; len(ts) > 0 {
+			if ts := ex.tokens[node]; len(ts) > 0 {
 				mappings[tid] = ts[0]
-				tokens[node] = ts[:0]
+				ex.tokens[node] = ts[:0]
 			}
 			continue
 		}
-		ts := tokens[node]
+		ts := ex.tokens[node]
 		if len(ts) == 0 {
 			continue
 		}
 		// Visit incoming arcs: the in-arcs of node are the reverse partners
 		// of its adjacency entries. Move as many tokens to each arc's
-		// source as that arc carries unattributed flow.
+		// source as that arc carries unattributed flow. The flow on a
+		// forward in-arc equals the residual of its partner — the row
+		// entry b itself — so the initialization is one plane load.
 		for _, b := range adj.Out(node) {
 			if len(ts) == 0 {
 				break
@@ -79,27 +119,29 @@ func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID
 			if !g.IsForward(in) {
 				continue // b itself is the forward arc out of node
 			}
-			rem, ok := remaining[in]
-			if !ok {
-				rem = g.Flow(in)
+			rem := ex.remaining[in]
+			if !ex.remSet[in] {
+				rem = pl.Resid[b]
+				ex.remSet[in] = true
 			}
 			if rem <= 0 {
+				ex.remaining[in] = rem
 				continue
 			}
-			src := g.Head(b) // tail of the incoming arc
+			src := pl.Head[b] // tail of the incoming arc
 			move := rem
 			if int64(len(ts)) < move {
 				move = int64(len(ts))
 			}
-			tokens[src] = append(tokens[src], ts[len(ts)-int(move):]...)
+			ex.tokens[src] = append(ex.tokens[src], ts[len(ts)-int(move):]...)
 			ts = ts[:len(ts)-int(move)]
-			remaining[in] = rem - move
-			if !queued[src] {
-				queue = append(queue, src)
-				queued[src] = true
+			ex.remaining[in] = rem - move
+			if !ex.queued[src] {
+				ex.queue = append(ex.queue, src)
+				ex.queued[src] = true
 			}
 		}
-		tokens[node] = ts
+		ex.tokens[node] = ts
 	}
 	return mappings
 }

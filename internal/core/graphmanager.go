@@ -73,6 +73,10 @@ type GraphManager struct {
 	// heuristic drained, so experiments can reconstruct the non-drained
 	// state on a graph clone (Figure 12b's controlled comparison).
 	DrainLog *[]flow.ArcID
+
+	// ext is the pinned working storage of ExtractPlacements; extraction
+	// runs every round, so its bookkeeping must not churn the heap.
+	ext extractScratch
 }
 
 // NewGraphManager builds the initial flow network for cl: a sink node and

@@ -84,7 +84,8 @@ type SolverPool struct {
 
 	relax   *mcmf.Relaxation
 	cs      *mcmf.CostScaling
-	replica *flow.Graph // reusable clone for the speculative cost scaling run
+	replica *flow.Graph   // reusable clone for the speculative cost scaling run
+	scratch *mcmf.Scratch // pinned working storage for the per-round price refine
 }
 
 // NewSolverPool returns a pool in the given mode with price refine enabled.
@@ -94,6 +95,7 @@ func NewSolverPool(mode SolverMode) *SolverPool {
 		PriceRefine: true,
 		relax:       mcmf.NewRelaxation(),
 		cs:          mcmf.NewCostScaling(),
+		scratch:     mcmf.NewScratch(),
 	}
 }
 
@@ -254,7 +256,7 @@ func (p *SolverPool) refine(g *flow.Graph, stop *atomic.Bool) time.Duration {
 	}
 	start := time.Now()
 	opts := p.opts(stop)
-	mcmf.PriceRefine(g, p.cs.ScaleFor(g), 0, opts)
+	p.scratch.PriceRefine(g, p.cs.ScaleFor(g), 0, opts)
 	return time.Since(start)
 }
 

@@ -20,7 +20,8 @@ func tinyOptions() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig7-large", "fig11-large", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19a", "fig19b",
 		"abl-increlax", "tab1", "tab2", "tab3",
 	}

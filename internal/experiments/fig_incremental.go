@@ -100,6 +100,30 @@ func Fig11(w io.Writer, o Options) error {
 	return nil
 }
 
+// Fig11Large is the Figure 11 incremental-vs-from-scratch comparison at
+// 1,000 and 5,000 machines, where the warm-start saving the paper reports
+// becomes the difference between a sub-second and a multi-second round.
+// Guarded behind FIRMAMENT_BENCH_LARGE like Fig7Large.
+func Fig11Large(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	header(w, "Figure 11 (large): incremental vs from-scratch cost scaling at 1k/5k machines")
+	if !largeVariantsEnabled(w) {
+		return nil
+	}
+	fmt.Fprintf(w, "%9s %-16s %16s %16s %10s\n", "machines", "policy", "from-scratch", "incremental", "saving")
+	for _, n := range largeSizes {
+		for _, kind := range []string{"quincy", "loadspread"} {
+			scratch, inc, err := incrementalComparison(n, kind, o, true)
+			if err != nil {
+				return err
+			}
+			saving := 100 * (1 - float64(inc)/float64(scratch))
+			fmt.Fprintf(w, "%9d %-16s %16s %16s %9.0f%%\n", n, kind, fmtDur(scratch), fmtDur(inc), saving)
+		}
+	}
+	return nil
+}
+
 // incrementalComparison warms a cluster, applies per-round churn, and
 // measures a from-scratch cost scaling solve vs an incremental one on the
 // same instance. The incremental solver warm-starts from the previous

@@ -18,6 +18,8 @@ func All() []Experiment {
 		{"fig9", "relaxation vs large arriving jobs", Fig9},
 		{"fig10", "approximate MCMF misplacements", Fig10},
 		{"fig11", "incremental vs from-scratch cost scaling", Fig11},
+		{"fig7-large", "from-scratch MCMF at 1k/5k machines (env-guarded)", Fig7Large},
+		{"fig11-large", "incremental vs from-scratch at 1k/5k machines (env-guarded)", Fig11Large},
 		{"fig12", "arc prioritization & task removal heuristics", Fig12},
 		{"fig13", "price refine on algorithm switch", Fig13},
 		{"fig14", "placement latency: Firmament vs Quincy", Fig14},

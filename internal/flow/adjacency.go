@@ -134,7 +134,7 @@ func (g *Graph) adjRebuild() {
 	for i := range g.nodes {
 		d := int32(0)
 		if g.nodes[i].inUse {
-			for arc := g.nodes[i].firstOut; arc != InvalidArc; arc = g.arcs[arc].next {
+			for arc := g.nodes[i].firstOut; arc != InvalidArc; arc = g.arcNext[arc] {
 				a.ids = append(a.ids, arc)
 				d++
 			}
@@ -162,7 +162,7 @@ func (g *Graph) adjRepair() {
 		a.isDirty[n] = false
 		d := int32(0)
 		if g.nodes[n].inUse {
-			for arc := g.nodes[n].firstOut; arc != InvalidArc; arc = g.arcs[arc].next {
+			for arc := g.nodes[n].firstOut; arc != InvalidArc; arc = g.arcNext[arc] {
 				d++
 			}
 		}
@@ -177,7 +177,7 @@ func (g *Graph) adjRepair() {
 		}
 		w := a.start[n]
 		if g.nodes[n].inUse {
-			for arc := g.nodes[n].firstOut; arc != InvalidArc; arc = g.arcs[arc].next {
+			for arc := g.nodes[n].firstOut; arc != InvalidArc; arc = g.arcNext[arc] {
 				a.ids[w] = arc
 				w++
 			}

@@ -30,15 +30,14 @@ func (g *Graph) EncodeSnapshot(e *wal.Enc) {
 		e.U8(uint8(n.kind))
 		e.Bool(n.inUse)
 	}
-	e.U32(uint32(len(g.arcs)))
-	for i := range g.arcs {
-		a := &g.arcs[i]
-		e.I64(int64(a.head))
-		e.I64(int64(a.next))
-		e.I64(int64(a.prev))
-		e.I64(a.resid)
-		e.I64(a.cost)
-		e.Bool(a.alive)
+	e.U32(uint32(len(g.arcHead)))
+	for i := range g.arcHead {
+		e.I64(int64(g.arcHead[i]))
+		e.I64(int64(g.arcNext[i]))
+		e.I64(int64(g.arcPrev[i]))
+		e.I64(g.arcResid[i])
+		e.I64(g.arcCost[i])
+		e.Bool(g.arcAlive[i])
 	}
 	e.U32(uint32(len(g.freeNodes)))
 	for _, id := range g.freeNodes {
@@ -76,16 +75,19 @@ func DecodeSnapshot(d *wal.Dec) (*Graph, error) {
 	if na%2 != 0 {
 		return nil, fmt.Errorf("flow: odd arc slot count %d", na)
 	}
-	g.arcs = make([]arc, na)
-	for i := range g.arcs {
-		g.arcs[i] = arc{
-			head:  NodeID(d.I64()),
-			next:  ArcID(d.I64()),
-			prev:  ArcID(d.I64()),
-			resid: d.I64(),
-			cost:  d.I64(),
-			alive: d.Bool(),
-		}
+	g.arcHead = make([]NodeID, na)
+	g.arcNext = make([]ArcID, na)
+	g.arcPrev = make([]ArcID, na)
+	g.arcResid = make([]int64, na)
+	g.arcCost = make([]int64, na)
+	g.arcAlive = make([]bool, na)
+	for i := 0; i < na; i++ {
+		g.arcHead[i] = NodeID(d.I64())
+		g.arcNext[i] = ArcID(d.I64())
+		g.arcPrev[i] = ArcID(d.I64())
+		g.arcResid[i] = d.I64()
+		g.arcCost[i] = d.I64()
+		g.arcAlive[i] = d.Bool()
 	}
 	nf := d.Len(8)
 	g.freeNodes = make([]NodeID, nf)
@@ -99,11 +101,14 @@ func DecodeSnapshot(d *wal.Dec) (*Graph, error) {
 	}
 	g.numNodes = int(d.I64())
 	g.numArcs = int(d.I64())
+	// The snapshot predates the incremental max-cost tracker's state; a lazy
+	// rescan on the first MaxAbsCost call rebuilds it from the cost plane.
+	g.costMaxStale = true
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	for i := range g.arcs {
-		if h := g.arcs[i].head; g.arcs[i].alive && (h < 0 || int(h) >= nn) {
+	for i := range g.arcHead {
+		if h := g.arcHead[i]; g.arcAlive[i] && (h < 0 || int(h) >= nn) {
 			return nil, fmt.Errorf("flow: arc %d head %d out of range", i, h)
 		}
 	}

@@ -61,6 +61,15 @@ func FuzzGraphChanges(f *testing.F) {
 					t.Fatalf("%s: %v", op, err)
 				}
 			}
+			// Cross-check the SoA arc planes against the linked lists (and
+			// the incremental max-cost tracker against a brute-force scan)
+			// on a different cadence, so plane checks see states where the
+			// compact index is mid-repair.
+			if ops%3 == 0 {
+				if err := planesMatchModel(g); err != nil {
+					t.Fatalf("%s: %v", op, err)
+				}
+			}
 			if g.NumNodes() != len(nodes) || g.NumArcs() != len(arcs) {
 				t.Fatalf("%s: live counts %d/%d, model %d/%d",
 					op, g.NumNodes(), g.NumArcs(), len(nodes), len(arcs))
@@ -176,6 +185,9 @@ func FuzzGraphChanges(f *testing.F) {
 		if err := indexMatchesLists(g); err != nil {
 			t.Fatalf("final state: %v", err)
 		}
+		if err := planesMatchModel(g); err != nil {
+			t.Fatalf("final state: %v", err)
+		}
 
 		// Clone fidelity on the final state: structure, cost and imbalance
 		// profile all survive a deep copy and a CloneInto reuse cycle.
@@ -184,6 +196,9 @@ func FuzzGraphChanges(f *testing.F) {
 			t.Fatal("clone has corrupt adjacency structure")
 		}
 		if err := indexMatchesLists(c); err != nil {
+			t.Fatalf("clone: %v", err)
+		}
+		if err := planesMatchModel(c); err != nil {
 			t.Fatalf("clone: %v", err)
 		}
 
@@ -221,6 +236,9 @@ func FuzzGraphChanges(f *testing.F) {
 			if err := indexMatchesLists(reused); err != nil {
 				t.Fatalf("CloneInto cycle %d: %v", cycle, err)
 			}
+			if err := planesMatchModel(reused); err != nil {
+				t.Fatalf("CloneInto cycle %d: %v", cycle, err)
+			}
 			// Dirty the source between cycles so the second copy carries
 			// pending repairs into the reused destination.
 			n1 := g.AddNode(1, KindTask)
@@ -231,6 +249,81 @@ func FuzzGraphChanges(f *testing.F) {
 			t.Fatalf("source after CloneInto cycles: %v", err)
 		}
 	})
+}
+
+// planesMatchModel verifies that the structure-of-arrays arc planes agree
+// with the linked-list adjacency and with each other: every arc reachable
+// from a live node's list is alive in the alive plane with its tail plane
+// pointing back at that node, every alive plane entry is reachable from
+// exactly one list, paired arcs share liveness and carry negated costs, no
+// residual is negative, the ArcPlanes view aliases the live storage, and
+// the incrementally-tracked MaxAbsCost matches a brute-force scan of the
+// cost plane.
+func planesMatchModel(g *Graph) error {
+	bound := g.ArcIDBound()
+	pl := g.ArcPlanes()
+	if len(pl.Head) != bound || len(pl.Resid) != bound || len(pl.Cost) != bound {
+		return fmt.Errorf("plane lengths %d/%d/%d != arc ID bound %d",
+			len(pl.Head), len(pl.Resid), len(pl.Cost), bound)
+	}
+	listed := make([]int, bound)
+	nlisted := 0
+	for i := 0; i < g.NodeIDBound(); i++ {
+		n := NodeID(i)
+		if !g.NodeInUse(n) {
+			continue
+		}
+		for a := g.FirstOut(n); a != InvalidArc; a = g.NextOut(a) {
+			if !g.ArcInUse(a &^ 1) {
+				return fmt.Errorf("node %d lists arc %d, alive plane says dead", n, a)
+			}
+			if got := pl.Head[a^1]; got != n {
+				return fmt.Errorf("arc %d in node %d's list, tail plane says %d", a, n, got)
+			}
+			listed[a]++
+			nlisted++
+		}
+	}
+	alive := 0
+	var brute int64
+	for a := 0; a < bound; a += 2 {
+		if g.ArcInUse(ArcID(a)) != g.ArcInUse(ArcID(a^1)) {
+			return fmt.Errorf("arc pair %d/%d disagrees on liveness", a, a^1)
+		}
+		if !g.ArcInUse(ArcID(a)) {
+			continue
+		}
+		alive += 2
+		if listed[a] != 1 || listed[a^1] != 1 {
+			return fmt.Errorf("alive arc pair %d/%d listed %d/%d times (want once each)",
+				a, a^1, listed[a], listed[a^1])
+		}
+		if pl.Cost[a] != -pl.Cost[a^1] {
+			return fmt.Errorf("arc %d cost %d, reverse cost %d (want negation)",
+				a, pl.Cost[a], pl.Cost[a^1])
+		}
+		if pl.Resid[a] < 0 || pl.Resid[a^1] < 0 {
+			return fmt.Errorf("arc pair %d/%d has negative residual %d/%d",
+				a, a^1, pl.Resid[a], pl.Resid[a^1])
+		}
+		if pl.Head[a] != g.Head(ArcID(a)) || pl.Resid[a] != g.Resid(ArcID(a)) || pl.Cost[a] != g.Cost(ArcID(a)) {
+			return fmt.Errorf("plane view diverges from accessors at arc %d", a)
+		}
+		c := pl.Cost[a]
+		if c < 0 {
+			c = -c
+		}
+		if c > brute {
+			brute = c
+		}
+	}
+	if nlisted != alive {
+		return fmt.Errorf("lists hold %d arcs, alive plane holds %d", nlisted, alive)
+	}
+	if got := g.MaxAbsCost(); got != brute {
+		return fmt.Errorf("incremental MaxAbsCost %d != brute-force %d", got, brute)
+	}
+	return nil
 }
 
 // indexMatchesLists verifies that the compact adjacency index agrees with

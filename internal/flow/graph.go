@@ -14,15 +14,32 @@
 // task nodes at completion and machine nodes at failure thousands of times
 // per minute, and the graph must not grow without bound.
 //
+// # Structure-of-arrays arc store
+//
+// Arc data lives in flat per-field planes indexed by ArcID (arcHead,
+// arcResid, arcCost, plus the arcNext/arcPrev/arcAlive bookkeeping), the
+// cs2/LEMON-style layout, instead of a slice of 40-byte arc structs. The
+// MCMF hot loops each touch only a subset of the fields — a residual scan
+// reads resid alone, a reduced-cost scan reads cost and head — so per-plane
+// slices put 8 arcs on a cache line where the struct layout managed 1.6,
+// and the pairwise sweeps (refine saturation, maxViolation, TotalCost,
+// Imbalances, ResetFlow) become linear walks over dense memory. Arc IDs are
+// assigned in insertion order and the compact adjacency rows preserve it,
+// so row iteration reads near-sequential plane entries too. The planes are
+// also what intra-solve parallelism needs: an []int64 residual plane
+// supports per-arc atomic reserve/deposit (TryReserveResid/DepositResid),
+// which a mutex around a struct field could not match.
+//
 // # Dual adjacency representation
 //
 // The graph keeps adjacency twice. The doubly-linked per-node arc list
-// (FirstOut/NextOut) is the mutable source of truth: O(1) arc insertion and
-// removal, which the scheduler's per-round churn needs. Layered on top is a
-// compact CSR-style index (Adjacency) — per-node contiguous []ArcID rows —
-// which is what the MCMF solvers iterate: walking a linked list through the
-// shared arcs slice serializes the solver hot path behind dependent loads,
-// while contiguous rows let the CPU prefetch and pipeline them.
+// (FirstOut/NextOut, stored in the arcNext/arcPrev planes) is the mutable
+// source of truth: O(1) arc insertion and removal, which the scheduler's
+// per-round churn needs. Layered on top is a compact CSR-style index
+// (Adjacency) — per-node contiguous []ArcID rows — which is what the MCMF
+// solvers iterate: walking a linked list through the shared planes
+// serializes the solver hot path behind dependent loads, while contiguous
+// rows let the CPU prefetch and pipeline them.
 //
 // The index is maintained lazily. Structural mutations (AddNode, AddArc,
 // RemoveArc, RemoveNode) mark only the touched tails dirty; the next
@@ -33,7 +50,10 @@
 // detail.
 package flow
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // NodeID identifies a node in a Graph. IDs are dense small integers so that
 // solvers can use them to index scratch arrays directly.
@@ -94,32 +114,42 @@ type node struct {
 	inUse     bool
 }
 
-// arc is the internal arc record. For a forward arc, resid+partner.resid is
-// the arc's capacity and partner.resid is its flow. Reverse arcs carry the
-// negated cost.
-type arc struct {
-	head  NodeID
-	next  ArcID // next outgoing arc of the same tail
-	prev  ArcID // previous outgoing arc of the same tail
-	resid int64
-	cost  int64
-	alive bool
-}
-
 // Graph is a directed flow network with supplies, capacities and costs. The
 // zero value is not usable; call NewGraph.
 //
 // Graph is not safe for concurrent mutation. The speculative solver pool
 // clones the graph so each algorithm owns a private replica (paper §6.1 runs
-// the two algorithms in separate address spaces).
+// the two algorithms in separate address spaces). Within one solve, the
+// parallel solver phases coordinate through the atomic accessors
+// (TryReserveResid, DepositResid, PotentialAtomic); everything else assumes
+// single-goroutine access.
 type Graph struct {
-	nodes     []node
-	arcs      []arc
+	nodes []node
+
+	// Arc planes, all indexed by ArcID and always equal in length. For a
+	// forward arc a, arcResid[a]+arcResid[a^1] is the pair's capacity and
+	// arcResid[a^1] its flow; arcCost[a^1] == -arcCost[a].
+	arcHead  []NodeID
+	arcNext  []ArcID // next outgoing arc of the same tail
+	arcPrev  []ArcID // previous outgoing arc of the same tail
+	arcResid []int64
+	arcCost  []int64
+	arcAlive []bool
+
 	freeNodes []NodeID
 	freeArcs  []ArcID // forward (even) IDs of freed pairs
 	numNodes  int
 	numArcs   int      // number of live forward arcs
 	adj       adjIndex // lazily-repaired compact adjacency (adjacency.go)
+
+	// Exact incremental max-|cost| tracking over live forward arcs, so that
+	// cost scaling's initial epsilon does not pay an O(M) scan per solve
+	// (paper §6.2 warm starts run every round). costMaxCount counts live
+	// forward arcs whose |cost| equals costMax; when it drops to zero the
+	// maximum is stale and the next MaxAbsCost call rescans.
+	costMax      int64
+	costMaxCount int
+	costMaxStale bool
 
 	removeScratch []ArcID // reusable pair buffer for RemoveNode
 }
@@ -128,8 +158,13 @@ type Graph struct {
 // storage; pass zeros if unknown.
 func NewGraph(nodeHint, arcHint int) *Graph {
 	return &Graph{
-		nodes: make([]node, 0, nodeHint),
-		arcs:  make([]arc, 0, 2*arcHint),
+		nodes:    make([]node, 0, nodeHint),
+		arcHead:  make([]NodeID, 0, 2*arcHint),
+		arcNext:  make([]ArcID, 0, 2*arcHint),
+		arcPrev:  make([]ArcID, 0, 2*arcHint),
+		arcResid: make([]int64, 0, 2*arcHint),
+		arcCost:  make([]int64, 0, 2*arcHint),
+		arcAlive: make([]bool, 0, 2*arcHint),
 	}
 }
 
@@ -145,7 +180,25 @@ func (g *Graph) NodeIDBound() int { return len(g.nodes) }
 
 // ArcIDBound returns an exclusive upper bound on live arc IDs (forward and
 // reverse), suitable for sizing solver scratch arrays indexed by ArcID.
-func (g *Graph) ArcIDBound() int { return len(g.arcs) }
+func (g *Graph) ArcIDBound() int { return len(g.arcHead) }
+
+// ArcPlanes is a read-only view of the hot arc data planes, handed to solver
+// inner loops so they can index arc fields without going through the graph
+// pointer on every access. The slices alias graph storage: they stay valid
+// until the next structural mutation (AddArc/RemoveArc/AddNode/RemoveNode)
+// and must not be written. Resid entries change under the owner's Push (or
+// the atomic reserve/deposit pair in parallel phases); Cost and Head are
+// stable during a solve.
+type ArcPlanes struct {
+	Head  []NodeID
+	Resid []int64
+	Cost  []int64
+}
+
+// ArcPlanes returns the current plane view.
+func (g *Graph) ArcPlanes() ArcPlanes {
+	return ArcPlanes{Head: g.arcHead, Resid: g.arcResid, Cost: g.arcCost}
+}
 
 // AddNode creates a node with the given supply (positive for sources,
 // negative for sinks) and kind, and returns its ID.
@@ -176,7 +229,7 @@ func (g *Graph) RemoveNode(id NodeID) {
 	// allocator). Every incident arc (in or out) appears in this node's out
 	// list: out-arcs directly, in-arcs via their reverse partner.
 	pairs := g.removeScratch[:0]
-	for a := g.nodes[id].firstOut; a != InvalidArc; a = g.arcs[a].next {
+	for a := g.nodes[id].firstOut; a != InvalidArc; a = g.arcNext[a] {
 		pairs = append(pairs, a&^1)
 	}
 	g.removeScratch = pairs
@@ -207,15 +260,21 @@ func (g *Graph) AddArc(tail, head NodeID, capacity, cost int64) ArcID {
 		fwd = g.freeArcs[n-1]
 		g.freeArcs = g.freeArcs[:n-1]
 	} else {
-		g.arcs = append(g.arcs, arc{}, arc{})
-		fwd = ArcID(len(g.arcs) - 2)
+		g.arcHead = append(g.arcHead, 0, 0)
+		g.arcNext = append(g.arcNext, 0, 0)
+		g.arcPrev = append(g.arcPrev, 0, 0)
+		g.arcResid = append(g.arcResid, 0, 0)
+		g.arcCost = append(g.arcCost, 0, 0)
+		g.arcAlive = append(g.arcAlive, false, false)
+		fwd = ArcID(len(g.arcHead) - 2)
 	}
 	rev := fwd ^ 1
-	g.arcs[fwd] = arc{head: head, resid: capacity, cost: cost, alive: true}
-	g.arcs[rev] = arc{head: tail, resid: 0, cost: -cost, alive: true}
+	g.arcHead[fwd], g.arcResid[fwd], g.arcCost[fwd], g.arcAlive[fwd] = head, capacity, cost, true
+	g.arcHead[rev], g.arcResid[rev], g.arcCost[rev], g.arcAlive[rev] = tail, 0, -cost, true
 	g.linkOut(tail, fwd)
 	g.linkOut(head, rev)
 	g.numArcs++
+	g.costMaxAdd(cost)
 	g.adjTouch(tail)
 	g.adjTouch(head)
 	return fwd
@@ -228,20 +287,21 @@ func (g *Graph) RemoveArc(a ArcID) {
 	fwd := a &^ 1
 	g.mustLiveArc(fwd, "RemoveArc")
 	rev := fwd ^ 1
-	tail, head := g.arcs[rev].head, g.arcs[fwd].head
+	tail, head := g.arcHead[rev], g.arcHead[fwd]
 	g.unlinkOut(tail, fwd)
 	g.unlinkOut(head, rev)
-	g.arcs[fwd].alive = false
-	g.arcs[rev].alive = false
+	g.arcAlive[fwd] = false
+	g.arcAlive[rev] = false
 	g.freeArcs = append(g.freeArcs, fwd)
 	g.numArcs--
+	g.costMaxDrop(g.arcCost[fwd])
 	g.adjTouch(tail)
 	g.adjTouch(head)
 }
 
 // ArcInUse reports whether a refers to a live arc (forward or reverse).
 func (g *Graph) ArcInUse(a ArcID) bool {
-	return a >= 0 && int(a) < len(g.arcs) && g.arcs[a].alive
+	return a >= 0 && int(a) < len(g.arcAlive) && g.arcAlive[a]
 }
 
 // IsForward reports whether a is a forward (original) arc rather than a
@@ -254,24 +314,24 @@ func (g *Graph) Reverse(a ArcID) ArcID { return a ^ 1 }
 // linkOut pushes arc a onto the front of n's outgoing adjacency list.
 func (g *Graph) linkOut(n NodeID, a ArcID) {
 	first := g.nodes[n].firstOut
-	g.arcs[a].next = first
-	g.arcs[a].prev = InvalidArc
+	g.arcNext[a] = first
+	g.arcPrev[a] = InvalidArc
 	if first != InvalidArc {
-		g.arcs[first].prev = a
+		g.arcPrev[first] = a
 	}
 	g.nodes[n].firstOut = a
 }
 
 // unlinkOut removes arc a from n's outgoing adjacency list.
 func (g *Graph) unlinkOut(n NodeID, a ArcID) {
-	prev, next := g.arcs[a].prev, g.arcs[a].next
+	prev, next := g.arcPrev[a], g.arcNext[a]
 	if prev != InvalidArc {
-		g.arcs[prev].next = next
+		g.arcNext[prev] = next
 	} else {
 		g.nodes[n].firstOut = next
 	}
 	if next != InvalidArc {
-		g.arcs[next].prev = prev
+		g.arcPrev[next] = prev
 	}
 }
 
@@ -280,50 +340,96 @@ func (g *Graph) unlinkOut(n NodeID, a ArcID) {
 func (g *Graph) FirstOut(n NodeID) ArcID { return g.nodes[n].firstOut }
 
 // NextOut returns the arc after a in the tail's adjacency list.
-func (g *Graph) NextOut(a ArcID) ArcID { return g.arcs[a].next }
+func (g *Graph) NextOut(a ArcID) ArcID { return g.arcNext[a] }
 
 // Head returns the destination of arc a.
-func (g *Graph) Head(a ArcID) NodeID { return g.arcs[a].head }
+func (g *Graph) Head(a ArcID) NodeID { return g.arcHead[a] }
 
 // Tail returns the origin of arc a.
-func (g *Graph) Tail(a ArcID) NodeID { return g.arcs[a^1].head }
+func (g *Graph) Tail(a ArcID) NodeID { return g.arcHead[a^1] }
 
 // Cost returns the cost of arc a (negated on reverse arcs).
-func (g *Graph) Cost(a ArcID) int64 { return g.arcs[a].cost }
+func (g *Graph) Cost(a ArcID) int64 { return g.arcCost[a] }
 
 // Resid returns the residual capacity of arc a.
-func (g *Graph) Resid(a ArcID) int64 { return g.arcs[a].resid }
+func (g *Graph) Resid(a ArcID) int64 { return g.arcResid[a] }
 
 // Capacity returns the total capacity of the forward arc of a's pair.
 func (g *Graph) Capacity(a ArcID) int64 {
 	fwd := a &^ 1
-	return g.arcs[fwd].resid + g.arcs[fwd^1].resid
+	return g.arcResid[fwd] + g.arcResid[fwd^1]
 }
 
 // Flow returns the flow on the forward arc of a's pair.
-func (g *Graph) Flow(a ArcID) int64 { return g.arcs[(a&^1)^1].resid }
+func (g *Graph) Flow(a ArcID) int64 { return g.arcResid[(a&^1)^1] }
 
 // Push moves amt units of flow along arc a (forward or residual). It panics
 // if amt exceeds the residual capacity.
 func (g *Graph) Push(a ArcID, amt int64) {
-	if amt < 0 || amt > g.arcs[a].resid {
-		panic(fmt.Sprintf("flow: Push %d on arc %d with residual %d", amt, a, g.arcs[a].resid))
+	if amt < 0 || amt > g.arcResid[a] {
+		panic(fmt.Sprintf("flow: Push %d on arc %d with residual %d", amt, a, g.arcResid[a]))
 	}
-	g.arcs[a].resid -= amt
-	g.arcs[a^1].resid += amt
+	g.arcResid[a] -= amt
+	g.arcResid[a^1] += amt
+}
+
+// TryReserveResid atomically reserves up to want units of residual capacity
+// on arc a, returning the amount actually reserved (zero if the arc is
+// saturated). The caller must deposit the reservation on the partner arc
+// (DepositResid(a^1, amt)) to complete the push — the parallel discharge
+// phase does exactly this, so two workers pushing over the same arc never
+// over-commit its capacity. Outside parallel phases use Push.
+func (g *Graph) TryReserveResid(a ArcID, want int64) int64 {
+	p := &g.arcResid[a]
+	for {
+		r := atomic.LoadInt64(p)
+		amt := want
+		if r < amt {
+			amt = r
+		}
+		if amt <= 0 {
+			return 0
+		}
+		if atomic.CompareAndSwapInt64(p, r, r-amt) {
+			return amt
+		}
+	}
+}
+
+// DepositResid atomically adds amt residual capacity to arc a — the second
+// half of a parallel push started by TryReserveResid on the partner.
+func (g *Graph) DepositResid(a ArcID, amt int64) {
+	atomic.AddInt64(&g.arcResid[a], amt)
+}
+
+// ResidAtomic reads arc a's residual capacity with an atomic load, for use
+// inside parallel phases where other workers may be pushing concurrently.
+func (g *Graph) ResidAtomic(a ArcID) int64 {
+	return atomic.LoadInt64(&g.arcResid[a])
+}
+
+// PotentialAtomic reads node n's potential with an atomic load (parallel
+// discharge relabels concurrently with admissibility checks).
+func (g *Graph) PotentialAtomic(n NodeID) int64 {
+	return atomic.LoadInt64(&g.nodes[n].potential)
+}
+
+// SetPotentialAtomic writes node n's potential with an atomic store.
+func (g *Graph) SetPotentialAtomic(n NodeID, p int64) {
+	atomic.StoreInt64(&g.nodes[n].potential, p)
 }
 
 // ReducedCost returns cost(a) - pi(tail) + pi(head), the reduced cost of
 // paper Eq. 4.
 func (g *Graph) ReducedCost(a ArcID) int64 {
-	return g.arcs[a].cost - g.nodes[g.arcs[a^1].head].potential + g.nodes[g.arcs[a].head].potential
+	return g.arcCost[a] - g.nodes[g.arcHead[a^1]].potential + g.nodes[g.arcHead[a]].potential
 }
 
 // ReducedCostFrom is ReducedCost for an arc already known to leave tail.
 // Solver inner loops iterate a node's adjacency row, so the tail is at hand
 // and the partner-arc load that Tail(a) would incur can be skipped.
 func (g *Graph) ReducedCostFrom(tail NodeID, a ArcID) int64 {
-	return g.arcs[a].cost - g.nodes[tail].potential + g.nodes[g.arcs[a].head].potential
+	return g.arcCost[a] - g.nodes[tail].potential + g.nodes[g.arcHead[a]].potential
 }
 
 // Supply returns node n's supply b(n).
@@ -354,8 +460,10 @@ func (g *Graph) SetKind(n NodeID, k NodeKind) { g.nodes[n].kind = k }
 func (g *Graph) SetArcCost(a ArcID, cost int64) {
 	fwd := a &^ 1
 	g.mustLiveArc(fwd, "SetArcCost")
-	g.arcs[fwd].cost = cost
-	g.arcs[fwd^1].cost = -cost
+	g.costMaxDrop(g.arcCost[fwd])
+	g.arcCost[fwd] = cost
+	g.arcCost[fwd^1] = -cost
+	g.costMaxAdd(cost)
 }
 
 // SetArcCapacity changes the capacity of the forward arc of a's pair. If
@@ -371,12 +479,73 @@ func (g *Graph) SetArcCapacity(a ArcID, capacity int64) {
 		panic(fmt.Sprintf("flow: SetArcCapacity %d < 0", capacity))
 	}
 	rev := fwd ^ 1
-	flow := g.arcs[rev].resid
+	flow := g.arcResid[rev]
 	if flow > capacity {
-		g.arcs[rev].resid = capacity
+		g.arcResid[rev] = capacity
 		flow = capacity
 	}
-	g.arcs[fwd].resid = capacity - flow
+	g.arcResid[fwd] = capacity - flow
+}
+
+// MaxAbsCost returns the largest absolute cost over live forward arcs (zero
+// for an arcless graph). The value is tracked incrementally under AddArc,
+// RemoveArc and SetArcCost, so steady-state calls are O(1); only when every
+// arc carrying the previous maximum has been removed or repriced does a
+// call rescan the cost plane. Cost scaling derives its initial epsilon from
+// this — formerly an O(M) sweep on every solve.
+func (g *Graph) MaxAbsCost() int64 {
+	if g.costMaxStale {
+		g.costMax, g.costMaxCount = 0, 0
+		for a := 0; a < len(g.arcCost); a += 2 {
+			if !g.arcAlive[a] {
+				continue
+			}
+			c := g.arcCost[a]
+			if c < 0 {
+				c = -c
+			}
+			if c > g.costMax {
+				g.costMax, g.costMaxCount = c, 1
+			} else if c == g.costMax {
+				g.costMaxCount++
+			}
+		}
+		g.costMaxStale = false
+	}
+	return g.costMax
+}
+
+// costMaxAdd folds a newly live forward-arc cost into the tracked maximum.
+// A stale maximum stays stale (the pending rescan will see this arc).
+func (g *Graph) costMaxAdd(cost int64) {
+	if cost < 0 {
+		cost = -cost
+	}
+	if g.costMaxStale {
+		return
+	}
+	if cost > g.costMax {
+		g.costMax, g.costMaxCount = cost, 1
+	} else if cost == g.costMax {
+		g.costMaxCount++
+	}
+}
+
+// costMaxDrop removes a no-longer-live forward-arc cost from the tracked
+// maximum, marking it stale when the last arc at the maximum goes away.
+func (g *Graph) costMaxDrop(cost int64) {
+	if g.costMaxStale {
+		return
+	}
+	if cost < 0 {
+		cost = -cost
+	}
+	if cost == g.costMax {
+		g.costMaxCount--
+		if g.costMaxCount <= 0 {
+			g.costMaxStale = true
+		}
+	}
 }
 
 // Nodes calls fn for every live node. Iteration order is unspecified.
@@ -390,8 +559,8 @@ func (g *Graph) Nodes(fn func(NodeID)) {
 
 // ForwardArcs calls fn for every live forward arc.
 func (g *Graph) ForwardArcs(fn func(ArcID)) {
-	for i := 0; i < len(g.arcs); i += 2 {
-		if g.arcs[i].alive {
+	for i := 0; i < len(g.arcAlive); i += 2 {
+		if g.arcAlive[i] {
 			fn(ArcID(i))
 		}
 	}

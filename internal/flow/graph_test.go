@@ -393,7 +393,7 @@ func adjacencyConsistent(g *Graph) bool {
 				ok = false
 				return
 			}
-			if g.arcs[a].prev != prev {
+			if g.arcPrev[a] != prev {
 				ok = false
 				return
 			}
@@ -420,8 +420,8 @@ func adjacencyConsistent(g *Graph) bool {
 	}
 	// Every live arc must have been reachable from its tail's list.
 	live := 0
-	for i := range g.arcs {
-		if g.arcs[i].alive {
+	for i := range g.arcAlive {
+		if g.arcAlive[i] {
 			live++
 			if !seen[ArcID(i)] {
 				return false

@@ -31,16 +31,16 @@ func (g *Graph) ImbalancesInto(im []int64) []int64 {
 			im[i] = g.nodes[i].supply
 		}
 	}
-	for i := 0; i < len(g.arcs); i += 2 {
-		if !g.arcs[i].alive {
+	for i := 0; i < len(g.arcAlive); i += 2 {
+		if !g.arcAlive[i] {
 			continue
 		}
-		f := g.arcs[i^1].resid // flow on forward arc i
+		f := g.arcResid[i^1] // flow on forward arc i
 		if f == 0 {
 			continue
 		}
-		tail := g.arcs[i^1].head
-		head := g.arcs[i].head
+		tail := g.arcHead[i^1]
+		head := g.arcHead[i]
 		im[tail] -= f
 		im[head] += f
 	}
@@ -51,13 +51,13 @@ func (g *Graph) ImbalancesInto(im []int64) []int64 {
 // every arc (paper Eq. 2–3), returning a descriptive error on the first
 // violation.
 func (g *Graph) CheckFeasible() error {
-	for i := 0; i < len(g.arcs); i += 2 {
-		if !g.arcs[i].alive {
+	for i := 0; i < len(g.arcAlive); i += 2 {
+		if !g.arcAlive[i] {
 			continue
 		}
-		if g.arcs[i].resid < 0 || g.arcs[i^1].resid < 0 {
+		if g.arcResid[i] < 0 || g.arcResid[i^1] < 0 {
 			return fmt.Errorf("flow: arc %d has negative residual (%d fwd, %d rev)",
-				i, g.arcs[i].resid, g.arcs[i^1].resid)
+				i, g.arcResid[i], g.arcResid[i^1])
 		}
 	}
 	for n, e := range g.Imbalances() {
@@ -72,9 +72,9 @@ func (g *Graph) CheckFeasible() error {
 // TotalCost returns sum(cost(a) * flow(a)) over forward arcs (paper Eq. 1).
 func (g *Graph) TotalCost() int64 {
 	var total int64
-	for i := 0; i < len(g.arcs); i += 2 {
-		if g.arcs[i].alive {
-			total += g.arcs[i].cost * g.arcs[i^1].resid
+	for i := 0; i < len(g.arcAlive); i += 2 {
+		if g.arcAlive[i] {
+			total += g.arcCost[i] * g.arcResid[i^1]
 		}
 	}
 	return total
@@ -103,16 +103,16 @@ func (g *Graph) CheckOptimal() error {
 	dist := make([]int64, n)
 	for round := 0; round < n; round++ {
 		improved := false
-		for a := 0; a < len(g.arcs); a++ {
-			if !g.arcs[a].alive || g.arcs[a].resid <= 0 {
+		for a := 0; a < len(g.arcAlive); a++ {
+			if !g.arcAlive[a] || g.arcResid[a] <= 0 {
 				continue
 			}
-			tail := g.arcs[a^1].head
+			tail := g.arcHead[a^1]
 			if !g.nodes[tail].inUse {
 				continue
 			}
-			head := g.arcs[a].head
-			if d := dist[tail] + g.arcs[a].cost; d < dist[head] {
+			head := g.arcHead[a]
+			if d := dist[tail] + g.arcCost[a]; d < dist[head] {
 				dist[head] = d
 				improved = true
 			}
@@ -129,8 +129,8 @@ func (g *Graph) CheckOptimal() error {
 // negative reduced cost. eps relaxes the test to epsilon-optimality (paper
 // §4, cost scaling): residual arcs may have reduced cost >= -eps.
 func (g *Graph) CheckReducedCostOptimal(eps int64) error {
-	for a := 0; a < len(g.arcs); a++ {
-		if !g.arcs[a].alive || g.arcs[a].resid <= 0 {
+	for a := 0; a < len(g.arcAlive); a++ {
+		if !g.arcAlive[a] || g.arcResid[a] <= 0 {
 			continue
 		}
 		if rc := g.ReducedCost(ArcID(a)); rc < -eps {
@@ -143,12 +143,12 @@ func (g *Graph) CheckReducedCostOptimal(eps int64) error {
 // ResetFlow removes all flow from the graph, returning every pair to
 // (resid=capacity, reverse resid=0). Potentials and supplies are preserved.
 func (g *Graph) ResetFlow() {
-	for i := 0; i < len(g.arcs); i += 2 {
-		if !g.arcs[i].alive {
+	for i := 0; i < len(g.arcAlive); i += 2 {
+		if !g.arcAlive[i] {
 			continue
 		}
-		g.arcs[i].resid += g.arcs[i^1].resid
-		g.arcs[i^1].resid = 0
+		g.arcResid[i] += g.arcResid[i^1]
+		g.arcResid[i^1] = 0
 	}
 }
 
@@ -175,17 +175,26 @@ func (g *Graph) Clone() *Graph {
 // built index never rebuilds it from scratch: its first Adjacency() call
 // repairs only the rows dirtied since the source last repaired. The copy
 // is deep; the clone and the original never share mutable index state, so
-// the speculative solver race can run both graphs concurrently.
+// the speculative solver race can run both graphs concurrently. The same
+// holds for the arc planes and the incremental max-cost tracker.
 func (g *Graph) CloneInto(dst *Graph) *Graph {
 	if dst == nil {
 		dst = &Graph{}
 	}
 	dst.nodes = append(dst.nodes[:0], g.nodes...)
-	dst.arcs = append(dst.arcs[:0], g.arcs...)
+	dst.arcHead = append(dst.arcHead[:0], g.arcHead...)
+	dst.arcNext = append(dst.arcNext[:0], g.arcNext...)
+	dst.arcPrev = append(dst.arcPrev[:0], g.arcPrev...)
+	dst.arcResid = append(dst.arcResid[:0], g.arcResid...)
+	dst.arcCost = append(dst.arcCost[:0], g.arcCost...)
+	dst.arcAlive = append(dst.arcAlive[:0], g.arcAlive...)
 	dst.freeNodes = append(dst.freeNodes[:0], g.freeNodes...)
 	dst.freeArcs = append(dst.freeArcs[:0], g.freeArcs...)
 	dst.numNodes = g.numNodes
 	dst.numArcs = g.numArcs
+	dst.costMax = g.costMax
+	dst.costMaxCount = g.costMaxCount
+	dst.costMaxStale = g.costMaxStale
 	dst.adj.copyFrom(&g.adj)
 	return dst
 }
@@ -195,15 +204,15 @@ func (g *Graph) CloneInto(dst *Graph) *Graph {
 // The solver pool uses this to transfer a winning relaxation solution into
 // the incremental cost scaling replica (paper §6.2).
 func (g *Graph) CopyFlowAndPotentialsFrom(src *Graph) error {
-	if len(g.arcs) != len(src.arcs) || len(g.nodes) != len(src.nodes) {
+	if len(g.arcAlive) != len(src.arcAlive) || len(g.nodes) != len(src.nodes) {
 		return fmt.Errorf("flow: topology mismatch (%d/%d nodes, %d/%d arcs)",
-			len(g.nodes), len(src.nodes), len(g.arcs), len(src.arcs))
+			len(g.nodes), len(src.nodes), len(g.arcAlive), len(src.arcAlive))
 	}
-	for i := range g.arcs {
-		if g.arcs[i].alive != src.arcs[i].alive || (g.arcs[i].alive && g.arcs[i].head != src.arcs[i].head) {
+	for i := range g.arcAlive {
+		if g.arcAlive[i] != src.arcAlive[i] || (g.arcAlive[i] && g.arcHead[i] != src.arcHead[i]) {
 			return fmt.Errorf("flow: arc %d differs between graphs", i)
 		}
-		g.arcs[i].resid = src.arcs[i].resid
+		g.arcResid[i] = src.arcResid[i]
 	}
 	for i := range g.nodes {
 		g.nodes[i].potential = src.nodes[i].potential

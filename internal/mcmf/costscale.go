@@ -39,6 +39,8 @@ type CostScaling struct {
 	inQueue  []bool
 	dist     []int64
 	pq       distHeap
+
+	par csParallel // worker state for parallel discharge (costscale_parallel.go)
 }
 
 // NewCostScaling returns a cost scaling solver.
@@ -123,6 +125,9 @@ func (c *CostScaling) SolveIncremental(g *flow.Graph, changes *flow.ChangeSet, o
 
 // run performs refine passes from eps down to 1.
 func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Options) (Result, error) {
+	if opts.parallelism() > 1 {
+		return c.runParallel(g, eps, start, opts)
+	}
 	c.grow(g.NodeIDBound())
 	c.adj = g.Adjacency() // repair once; structure is fixed for the solve
 	alpha := opts.alpha()
@@ -139,7 +144,22 @@ func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Optio
 		if eps == 1 {
 			break
 		}
+		// Jump the epsilon schedule past tiers the flow already satisfies:
+		// refine(eps) guarantees eps-optimality, but the flow it leaves is
+		// often far better, and the worst residual violation is exactly the
+		// epsilon the next tier must repair. The O(M) scan costs the same
+		// as the saturation pass of a single skipped tier, so any skip is a
+		// net win (cs2 applies the same check between scaling phases). A
+		// zero violation means the feasible flow is already 0-optimal —
+		// optimal — and the remaining tiers are no-ops.
+		v := c.maxViolation(g)
+		if v == 0 {
+			break
+		}
 		eps /= alpha
+		if v < eps {
+			eps = v
+		}
 		if eps < 1 {
 			eps = 1
 		}
@@ -159,10 +179,12 @@ func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Optio
 // raises a node's potential just enough to create an admissible arc.
 func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 	bound := g.NodeIDBound()
+	pl := g.ArcPlanes()
 	// Saturate arcs violating eps-optimality (standard refine starts from a
 	// 0-optimal pseudoflow w.r.t. current potentials). One pass over the
 	// pairs: the partners' reduced costs are negations of each other, so at
-	// most one direction can violate and both arc records are loaded once.
+	// most one direction can violate and both plane entries sit on the same
+	// cache lines.
 	for a := 0; a < g.ArcIDBound(); a += 2 {
 		fwd := flow.ArcID(a)
 		if !g.ArcInUse(fwd) {
@@ -170,12 +192,12 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 		}
 		rc := c.scaledReducedCost(g, fwd)
 		if rc < 0 {
-			if r := g.Resid(fwd); r > 0 {
+			if r := pl.Resid[fwd]; r > 0 {
 				g.Push(fwd, r)
 			}
 		} else if rc > 0 {
 			rev := fwd ^ 1
-			if r := g.Resid(rev); r > 0 {
+			if r := pl.Resid[rev]; r > 0 {
 				g.Push(rev, r)
 			}
 		}
@@ -201,7 +223,7 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 	if err := c.priceUpdate(g, eps); err != nil {
 		return err
 	}
-	relabelBudget := g.NumNodes()/2 + 64
+	relabelBudget := 8*g.NumNodes() + 64
 	relabelLimit := int32(64*g.NumNodes() + 4096)
 	relabelsSinceUpdate := 0
 	var work int
@@ -211,8 +233,11 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 		if c.excess[u] <= 0 {
 			continue
 		}
-		// Discharge u by walking its compact adjacency row.
+		// Discharge u by walking its compact adjacency row. pi(u) changes
+		// only on relabel or price update, so hold it in a register across
+		// the row scan instead of reloading the node record per arc.
 		row := c.adj.Out(u)
+		piU := g.Potential(u)
 		for c.excess[u] > 0 {
 			work++
 			if work%stopCheckInterval == 0 && opts.stopped() {
@@ -226,6 +251,7 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 					return ErrInfeasible
 				}
 				g.SetPotential(u, newPi)
+				piU = newPi
 				c.cur[u] = 0
 				c.relabels[u]++
 				if c.relabels[u] > relabelLimit {
@@ -241,13 +267,14 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 						c.cur[j] = 0
 					}
 					relabelsSinceUpdate = 0
+					piU = g.Potential(u)
 				}
 				continue
 			}
 			a := row[i]
-			if g.Resid(a) > 0 && c.scaledReducedCostFrom(g, u, a) < 0 {
-				v := g.Head(a)
-				amt := min64(c.excess[u], g.Resid(a))
+			if r := pl.Resid[a]; r > 0 && pl.Cost[a]*c.scale-piU+g.Potential(pl.Head[a]) < 0 {
+				v := pl.Head[a]
+				amt := min64(c.excess[u], r)
 				g.Push(a, amt)
 				c.excess[u] -= amt
 				wasPositive := c.excess[v] > 0
@@ -277,11 +304,12 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 	const inf = int64(1) << 62
 	bound := g.NodeIDBound()
+	pl := g.ArcPlanes()
 	for i := 0; i < bound; i++ {
 		c.dist[i] = inf
 	}
 	c.pq.reset()
-	hasExcess := false
+	excessLeft := 0
 	for i := 0; i < bound; i++ {
 		if !g.NodeInUse(flow.NodeID(i)) {
 			continue
@@ -290,27 +318,44 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 			c.dist[i] = 0
 			c.pq.push(flow.NodeID(i), 0)
 		} else if c.excess[i] > 0 {
-			hasExcess = true
+			excessLeft++
 		}
 	}
-	if !hasExcess || c.pq.size() == 0 {
+	if excessLeft == 0 || c.pq.size() == 0 {
 		return nil
 	}
+	// The search can stop as soon as every excess node is finalized (cs2's
+	// early termination): only their distances matter, and clamping every
+	// non-finalized node to the cut distance D keeps the invariant
+	// dist(u) <= dist(v) + l(u->v) across finalized/unfinalized boundaries
+	// — pops are nondecreasing, so an unfinalized u has tentative distance
+	// >= D, which the relaxation of each finalized v already bounded by
+	// dist(v) + l.
+	cut := int64(-1)
 	for c.pq.size() > 0 {
 		nd := c.pq.pop()
 		v := nd.node
 		if nd.dist > c.dist[v] {
 			continue
 		}
+		if c.excess[v] > 0 {
+			excessLeft--
+			if excessLeft == 0 {
+				cut = nd.dist
+				break
+			}
+		}
 		// Relax predecessors: the in-arcs of v are the partners of v's
-		// out-row entries.
+		// out-row entries. rc(in) for in-arc u->v is cost(in) - pi(u) + pi(v);
+		// pi(v) is loop-invariant, so hoist it out of the row scan.
+		piV := g.Potential(v)
 		for _, b := range c.adj.Out(v) {
-			in := g.Reverse(b)
-			if g.Resid(in) <= 0 {
+			in := b ^ 1
+			if pl.Resid[in] <= 0 {
 				continue
 			}
-			u := g.Head(b) // tail of the in-arc
-			rc := c.scaledReducedCost(g, in)
+			u := pl.Head[b] // tail of the in-arc
+			rc := pl.Cost[in]*c.scale - g.Potential(u) + piV
 			var l int64
 			if rc >= 0 {
 				l = rc/eps + 1
@@ -321,10 +366,15 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 			}
 		}
 	}
-	var maxD int64
-	for i := 0; i < bound; i++ {
-		if c.dist[i] != inf && c.dist[i] > maxD {
-			maxD = c.dist[i]
+	if cut < 0 {
+		// The queue drained with excess nodes unreached: no residual path
+		// from them to any deficit. Use the largest finalized distance as
+		// the ceiling (a source always finalizes at 0, so cut ends >= 0);
+		// the unreached excess below proves infeasibility.
+		for i := 0; i < bound; i++ {
+			if c.dist[i] != inf && c.dist[i] > cut {
+				cut = c.dist[i]
+			}
 		}
 	}
 	var infeasible bool
@@ -332,13 +382,14 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 		if !g.NodeInUse(flow.NodeID(i)) {
 			continue
 		}
-		if c.dist[i] == inf {
-			if c.excess[i] > 0 {
+		d := c.dist[i]
+		if d > cut {
+			if d == inf && c.excess[i] > 0 {
 				infeasible = true
 			}
-			c.dist[i] = maxD
+			d = cut
 		}
-		if d := c.dist[i]; d > 0 {
+		if d > 0 {
 			id := flow.NodeID(i)
 			g.SetPotential(id, g.Potential(id)+d*eps)
 		}
@@ -355,11 +406,12 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 func (c *CostScaling) relabelTarget(g *flow.Graph, u flow.NodeID, eps int64) (int64, bool) {
 	const unset = int64(1) << 62
 	best := unset
+	pl := g.ArcPlanes()
 	for _, a := range c.adj.Out(u) {
-		if g.Resid(a) <= 0 {
+		if pl.Resid[a] <= 0 {
 			continue
 		}
-		if v := g.Potential(g.Head(a)) + g.Cost(a)*c.scale; v < best {
+		if v := g.Potential(pl.Head[a]) + pl.Cost[a]*c.scale; v < best {
 			best = v
 		}
 	}
@@ -382,18 +434,14 @@ func (c *CostScaling) scaledReducedCostFrom(g *flow.Graph, tail flow.NodeID, a f
 }
 
 // maxScaledCost returns the largest absolute scaled arc cost (the classic
-// initial epsilon).
+// initial epsilon). The graph tracks the maximum incrementally under
+// AddArc/RemoveArc/SetArcCost, so the steady-state warm start pays O(1)
+// here instead of the O(M) sweep this used to be.
 func (c *CostScaling) maxScaledCost(g *flow.Graph) int64 {
-	var m int64 = 1
-	g.ForwardArcs(func(a flow.ArcID) {
-		cost := g.Cost(a)
-		if cost < 0 {
-			cost = -cost
-		}
-		if cost > m {
-			m = cost
-		}
-	})
+	m := g.MaxAbsCost()
+	if m < 1 {
+		m = 1
+	}
 	return m * c.scale
 }
 
@@ -402,6 +450,7 @@ func (c *CostScaling) maxScaledCost(g *flow.Graph) int64 {
 // changes since the last run are the only possible source of violations.
 func (c *CostScaling) maxViolation(g *flow.Graph) int64 {
 	var m int64
+	pl := g.ArcPlanes()
 	for a := 0; a < g.ArcIDBound(); a += 2 {
 		fwd := flow.ArcID(a)
 		if !g.ArcInUse(fwd) {
@@ -412,11 +461,11 @@ func (c *CostScaling) maxViolation(g *flow.Graph) int64 {
 		// with forward residual, the reverse when rc > 0 with flow on it.
 		rc := c.scaledReducedCost(g, fwd)
 		if rc < -m {
-			if g.Resid(fwd) > 0 {
+			if pl.Resid[fwd] > 0 {
 				m = -rc
 			}
 		} else if rc > m {
-			if g.Resid(fwd^1) > 0 {
+			if pl.Resid[fwd^1] > 0 {
 				m = rc
 			}
 		}

@@ -1,0 +1,333 @@
+package mcmf
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"firmament/internal/flow"
+)
+
+// Parallel bucket discharge for cost scaling (Options.Parallelism > 1).
+//
+// The epsilon-scaling outer loop is unchanged; what parallelises is the
+// discharge phase inside refine. Each wave snapshots the set of active
+// (positive-excess) nodes, and a pool of workers claims nodes off the wave
+// through an atomic cursor. A worker owns the node it claimed exclusively —
+// per-node state (row cursor, relabel count, potential) has a single writer
+// per wave — while pushes across arcs touch shared planes through atomics:
+// capacity moves by a reserve/deposit pair on the residual plane, so two
+// workers pushing over the same arc can never over-commit it, and excess
+// moves by atomic adds. A worker that drives a node's excess above zero
+// activates it for the next wave via a CAS on its activation flag (with the
+// usual store-recheck-CAS dance closing the lost-wakeup race against the
+// node's current owner). Between waves the workers meet at a barrier, where
+// the sequential price-update heuristic runs if relabels have accumulated.
+//
+// Races are allowed to weaken the epsilon-optimality invariant mid-refine
+// (a push may land on an arc that a concurrent relabel just made
+// inadmissible); they cannot break flow conservation. Correctness therefore
+// does not rest on the parallel phases at all: the final eps=1 refine runs
+// on the sequential code path, which restores exact 1-optimality from any
+// feasible flow, and the result is certified a posteriori (feasible +
+// 1-optimal in the scaled domain with scale > N implies optimal). Any
+// parallel-phase failure — certification, a racy relabel-limit overrun, a
+// work-cap abort — falls back to a from-scratch sequential solve, so the
+// returned optimum always agrees with what the sequential solver computes.
+type csParallel struct {
+	active []int32          // per-node activation flag (0/1, CAS-guarded)
+	wave   []flow.NodeID    // current wave of active nodes
+	next   [][]flow.NodeID  // per-worker next-wave buffers
+	merged []flow.NodeID    // reusable merge target
+}
+
+func (p *csParallel) grow(nodes, workers int) {
+	if len(p.active) < nodes {
+		p.active = make([]int32, nodes)
+	}
+	for len(p.next) < workers {
+		p.next = append(p.next, nil)
+	}
+}
+
+// errParallelAbort signals that a parallel refine gave up (work cap or a
+// possibly race-induced relabel overrun) and the solve must fall back to
+// the sequential path. Never returned to callers.
+var errParallelAbort = errors.New("mcmf: parallel discharge aborted")
+
+// runParallel mirrors run but discharges the eps>1 refines with a worker
+// pool, keeps the final eps=1 refine sequential, certifies the result, and
+// falls back to a sequential from-scratch solve on any failure.
+func (c *CostScaling) runParallel(g *flow.Graph, eps int64, start time.Time, opts *Options) (Result, error) {
+	c.grow(g.NodeIDBound())
+	c.adj = g.Adjacency()
+	alpha := opts.alpha()
+	if eps < 1 {
+		eps = 1
+	}
+	var iters int64
+	var parErr error
+	for {
+		if eps == 1 {
+			// Final tier: the sequential refine guarantees exact
+			// 1-optimality, which the parallel waves cannot.
+			parErr = c.refine(g, 1, opts)
+		} else {
+			parErr = c.refineParallel(g, eps, opts)
+		}
+		if parErr != nil {
+			break
+		}
+		iters++
+		opts.snapshot(start)
+		if eps == 1 {
+			break
+		}
+		eps /= alpha
+		if eps < 1 {
+			eps = 1
+		}
+	}
+	if parErr != nil && errors.Is(parErr, ErrStopped) {
+		return Result{}, parErr
+	}
+	if parErr == nil {
+		// Certify: a feasible flow that is 1-optimal in the scaled domain
+		// (scale > N) is optimal. This should always hold after the
+		// sequential final refine; treat a failure like any abort.
+		if err := g.CheckFeasible(); err != nil {
+			parErr = err
+		} else if err := c.checkScaledEpsOptimal(g, 1); err != nil {
+			parErr = err
+		}
+	}
+	if parErr != nil {
+		// Sequential fallback: authoritative, bit-identical to a plain
+		// from-scratch solve. Also the arbiter for ErrInfeasible, which a
+		// racy relabel overrun can report spuriously.
+		g.ResetFlow()
+		g.ResetPotentials()
+		c.ensureScale(g, true)
+		seq := *opts
+		seq.Parallelism = 1
+		return c.run(g, c.maxScaledCost(g), start, &seq)
+	}
+	return Result{
+		Algorithm:  c.Name(),
+		Cost:       g.TotalCost(),
+		Runtime:    time.Since(start),
+		Iterations: iters,
+	}, nil
+}
+
+// checkScaledEpsOptimal verifies rc(a) >= -eps in the scaled cost domain
+// for every residual arc.
+func (c *CostScaling) checkScaledEpsOptimal(g *flow.Graph, eps int64) error {
+	pl := g.ArcPlanes()
+	for a := 0; a < g.ArcIDBound(); a++ {
+		arc := flow.ArcID(a)
+		if !g.ArcInUse(arc) || pl.Resid[arc] <= 0 {
+			continue
+		}
+		if rc := c.scaledReducedCost(g, arc); rc < -eps {
+			return errParallelAbort
+		}
+	}
+	return nil
+}
+
+// refineParallel is refine with the discharge phase run by a worker pool.
+func (c *CostScaling) refineParallel(g *flow.Graph, eps int64, opts *Options) error {
+	bound := g.NodeIDBound()
+	pl := g.ArcPlanes()
+	// Sequential prologue, identical to refine: saturate violated arcs,
+	// rebuild excesses, reset per-node state, reprice.
+	for a := 0; a < g.ArcIDBound(); a += 2 {
+		fwd := flow.ArcID(a)
+		if !g.ArcInUse(fwd) {
+			continue
+		}
+		rc := c.scaledReducedCost(g, fwd)
+		if rc < 0 {
+			if r := pl.Resid[fwd]; r > 0 {
+				g.Push(fwd, r)
+			}
+		} else if rc > 0 {
+			rev := fwd ^ 1
+			if r := pl.Resid[rev]; r > 0 {
+				g.Push(rev, r)
+			}
+		}
+	}
+	c.excess = g.ImbalancesInto(c.excess)
+	workers := opts.parallelism()
+	p := &c.par
+	p.grow(bound, workers)
+	for i := 0; i < bound; i++ {
+		c.relabels[i] = 0
+		c.cur[i] = 0
+		p.active[i] = 0
+	}
+	wave := p.wave[:0]
+	for i := 0; i < bound; i++ {
+		if c.excess[i] > 0 && g.NodeInUse(flow.NodeID(i)) {
+			p.active[i] = 1
+			wave = append(wave, flow.NodeID(i))
+		}
+	}
+	p.wave = wave // appends may have grown past the old backing array
+	if err := c.priceUpdate(g, eps); err != nil {
+		return err
+	}
+	relabelBudget := 8*g.NumNodes() + 64 // matches the sequential refine's budget
+	relabelLimit := int32(64*g.NumNodes() + 4096)
+	// Backstop against race-induced push livelock: far above what any real
+	// refine needs, so hitting it means "give up and go sequential", not a
+	// tuning knob.
+	stepCap := int64(1000*(g.NumArcs()+g.NumNodes())) + 1<<20
+	var totalSteps atomic.Int64
+	relabelsSinceUpdate := 0
+
+	var wg sync.WaitGroup
+	for len(wave) > 0 {
+		if opts.stopped() {
+			return ErrStopped
+		}
+		var cursor atomic.Int64
+		var stopFlag, infeasibleFlag, abortFlag atomic.Bool
+		waveRelabels := make([]int, workers)
+		n := workers
+		if n > len(wave) {
+			n = len(wave)
+		}
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			p.next[w] = p.next[w][:0]
+			go func(w int) {
+				defer wg.Done()
+				var steps int64
+				for {
+					idx := cursor.Add(1) - 1
+					if int(idx) >= len(wave) || stopFlag.Load() || abortFlag.Load() || infeasibleFlag.Load() {
+						break
+					}
+					u := wave[idx]
+					ok := c.dischargeOne(g, pl, u, eps, relabelLimit, &p.next[w], &waveRelabels[w], &steps, &stopFlag, opts)
+					if !ok {
+						infeasibleFlag.Store(true)
+						break
+					}
+					if steps > stepCap {
+						abortFlag.Store(true)
+						break
+					}
+				}
+				totalSteps.Add(steps)
+			}(w)
+		}
+		wg.Wait()
+		if stopFlag.Load() || opts.stopped() {
+			return ErrStopped
+		}
+		if infeasibleFlag.Load() {
+			return ErrInfeasible
+		}
+		if abortFlag.Load() || totalSteps.Load() > stepCap {
+			return errParallelAbort
+		}
+		// Merge the per-worker next-wave buffers.
+		merged := p.merged[:0]
+		for w := 0; w < n; w++ {
+			merged = append(merged, p.next[w]...)
+			relabelsSinceUpdate += waveRelabels[w]
+		}
+		p.merged, p.wave = p.wave, merged // swap so both retain capacity
+		wave = merged
+		if relabelsSinceUpdate > relabelBudget && len(wave) > 0 {
+			if err := c.priceUpdate(g, eps); err != nil {
+				return err
+			}
+			for j := 0; j < bound; j++ {
+				c.cur[j] = 0
+			}
+			relabelsSinceUpdate = 0
+		}
+	}
+	return nil
+}
+
+// dischargeOne drains node u's excess within a wave. The caller owns u
+// exclusively (claimed via the wave cursor), so u's row cursor, relabel
+// counter and potential have one writer; everything crossing arcs goes
+// through atomics. Returns false on (possibly race-induced) infeasibility.
+func (c *CostScaling) dischargeOne(g *flow.Graph, pl flow.ArcPlanes, u flow.NodeID, eps int64, relabelLimit int32, next *[]flow.NodeID, relabels *int, steps *int64, stopFlag *atomic.Bool, opts *Options) bool {
+	const unset = int64(1) << 62
+	row := c.adj.Out(u)
+	piU := g.PotentialAtomic(u)
+	for {
+		e := atomic.LoadInt64(&c.excess[u])
+		if e <= 0 {
+			break
+		}
+		*steps++
+		if *steps%stopCheckInterval == 0 && opts.stopped() {
+			stopFlag.Store(true)
+			return true
+		}
+		i := c.cur[u]
+		if int(i) >= len(row) {
+			// Relabel under atomic reads of neighbours' state.
+			best := unset
+			for _, a := range row {
+				if g.ResidAtomic(a) <= 0 {
+					continue
+				}
+				if v := g.PotentialAtomic(pl.Head[a]) + pl.Cost[a]*c.scale; v < best {
+					best = v
+				}
+			}
+			if best == unset {
+				return false
+			}
+			piU = best + eps
+			g.SetPotentialAtomic(u, piU)
+			c.cur[u] = 0
+			c.relabels[u]++
+			if c.relabels[u] > relabelLimit {
+				return false
+			}
+			*relabels++
+			continue
+		}
+		a := row[i]
+		r := g.ResidAtomic(a)
+		if r > 0 && pl.Cost[a]*c.scale-piU+g.PotentialAtomic(pl.Head[a]) < 0 {
+			got := g.TryReserveResid(a, min64(e, r))
+			if got > 0 {
+				g.DepositResid(a^1, got)
+				atomic.AddInt64(&c.excess[u], -got)
+				v := pl.Head[a]
+				now := atomic.AddInt64(&c.excess[v], got)
+				if now > 0 && now-got <= 0 {
+					// v crossed into positive excess: activate it unless its
+					// current owner (or another pusher) already has.
+					if atomic.CompareAndSwapInt32(&c.par.active[v], 0, 1) {
+						*next = append(*next, v)
+					}
+				}
+				continue
+			}
+			// Lost the capacity race; fall through and advance past the arc.
+		}
+		c.cur[u] = i + 1
+	}
+	// Release ownership, then re-check: a deposit that landed between the
+	// last excess load and the flag store would otherwise be lost.
+	atomic.StoreInt32(&c.par.active[u], 0)
+	if atomic.LoadInt64(&c.excess[u]) > 0 &&
+		atomic.CompareAndSwapInt32(&c.par.active[u], 0, 1) {
+		*next = append(*next, u)
+	}
+	return true
+}

@@ -16,7 +16,8 @@ import (
 // algorithms; it exists as a correctness oracle and as the Figure 7
 // baseline.
 type CycleCanceling struct {
-	cycle []flow.ArcID // reusable buffer for negativeCycle results
+	cycle   []flow.ArcID // reusable buffer for negativeCycle results
+	scratch helperScratch
 }
 
 // NewCycleCanceling returns a cycle canceling solver.
@@ -30,7 +31,7 @@ func (c *CycleCanceling) Solve(g *flow.Graph, opts *Options) (Result, error) {
 	start := time.Now()
 	g.ResetFlow()
 	g.ResetPotentials()
-	unrouted, err := MaxFlow(g, opts)
+	unrouted, err := maxFlow(g, opts, &c.scratch)
 	if err != nil {
 		return Result{}, err
 	}
@@ -42,7 +43,7 @@ func (c *CycleCanceling) Solve(g *flow.Graph, opts *Options) (Result, error) {
 		if opts.stopped() {
 			return Result{}, ErrStopped
 		}
-		cycle := negativeCycle(g, opts, c.cycle)
+		cycle := negativeCycle(g, opts, c.cycle, &c.scratch)
 		if cycle != nil {
 			c.cycle = cycle // retain the grown buffer for the next search
 		}

@@ -16,10 +16,19 @@ import (
 // index; the DFS keeps a per-node position into the node's row (the classic
 // current-arc optimization) instead of a linked-list cursor.
 func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
+	var s helperScratch
+	return maxFlow(g, opts, &s)
+}
+
+// MaxFlow is the allocation-free variant using pinned scratch.
+func (sc *Scratch) MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
+	return maxFlow(g, opts, &sc.s)
+}
+
+func maxFlow(g *flow.Graph, opts *Options, s *helperScratch) (unrouted int64, err error) {
 	n := g.NodeIDBound()
 	adj := g.Adjacency()
-	s := helperPool.Get().(*helperScratch)
-	defer helperPool.Put(s)
+	pl := g.ArcPlanes()
 	excess := g.ImbalancesInto(s.i64)
 	s.i64 = excess
 	level := s.int32s(n, -1)
@@ -58,10 +67,10 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 				reachedDeficit = true
 			}
 			for _, a := range adj.Out(u) {
-				if g.Resid(a) <= 0 {
+				if pl.Resid[a] <= 0 {
 					continue
 				}
-				v := g.Head(a)
+				v := pl.Head[a]
 				if level[v] < 0 {
 					level[v] = level[u] + 1
 					queue[qlen] = v
@@ -87,10 +96,10 @@ func MaxFlow(g *flow.Graph, opts *Options) (unrouted int64, err error) {
 			row := adj.Out(u)
 			for int(iter[u]) < len(row) && total < limit {
 				a := row[iter[u]]
-				if g.Resid(a) > 0 {
-					v := g.Head(a)
+				if pl.Resid[a] > 0 {
+					v := pl.Head[a]
 					if level[v] == level[u]+1 {
-						d := dfs(v, min64(limit-total, g.Resid(a)))
+						d := dfs(v, min64(limit-total, pl.Resid[a]))
 						if d > 0 {
 							g.Push(a, d)
 							total += d

@@ -43,8 +43,12 @@ type Options struct {
 	Stop *atomic.Bool
 
 	// Alpha is the cost scaling division factor for epsilon between
-	// iterations. Zero selects the default (2). The paper found alpha=9
-	// ~30% faster than Quincy's default on the Google workload (§7.2).
+	// iterations. Zero selects the default (12, cs2's SCALE_DEFAULT — the
+	// Quincy baseline configuration). The paper swept this factor and
+	// found alpha=9 ~30% faster than the conservative alpha=2 schedule on
+	// the Google workload (§7.2); with the byte-denominated cost ranges of
+	// the locality policies, small alphas mean dozens of refine tiers that
+	// each pay a full saturation scan and price update.
 	Alpha int64
 
 	// ArcPrioritization enables the relaxation heuristic of §5.3.1:
@@ -57,13 +61,30 @@ type Options struct {
 	// placements. The graph is in a consistent (feasible or CS-respecting)
 	// intermediate state during the call but must not be mutated.
 	SnapshotHook func(elapsed time.Duration)
+
+	// Parallelism caps the worker goroutines a single solve may use for its
+	// internal parallel phases (cost scaling's bucket discharge, SSP's
+	// batched per-source Dijkstra). Zero or one selects the strictly
+	// sequential code path, whose results are bit-identical run to run; with
+	// more workers the flow assignment may differ between runs but the
+	// optimum cost is guaranteed to agree with the sequential solve (parallel
+	// results are certified optimal a posteriori, with a sequential fallback
+	// if certification fails). Solvers without a parallel phase ignore it.
+	Parallelism int
 }
 
 func (o *Options) alpha() int64 {
 	if o == nil || o.Alpha < 2 {
-		return 2
+		return 12
 	}
 	return o.Alpha
+}
+
+func (o *Options) parallelism() int {
+	if o == nil || o.Parallelism < 2 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 func (o *Options) stopped() bool {

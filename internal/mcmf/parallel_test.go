@@ -1,0 +1,189 @@
+package mcmf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"firmament/internal/flow"
+)
+
+// parallelOpts returns options requesting intra-solve parallelism. The
+// worker count deliberately exceeds GOMAXPROCS on small CI boxes so the
+// scheduling of workers onto threads varies run to run — the agreement
+// checks below must hold under any interleaving.
+func parallelOpts() *Options { return &Options{Parallelism: 4} }
+
+// parallelSolvers lists the solvers with a parallel execution path.
+func parallelSolvers() []Solver {
+	return []Solver{NewCostScaling(), NewSuccessiveShortestPath()}
+}
+
+// TestParallelSolversAgreeOnOptimum runs the parallel execution paths of
+// cost scaling and SSP over the differential corpus and requires each to
+// reach the same optimal cost as the strictly sequential reference, with a
+// feasible, negative-cycle-free flow. Parallel runs need not be bit-
+// identical (the wave/batch interleavings are scheduling-dependent), but
+// the optimum is unique in value — any disagreement is a lost push or a
+// torn residual update.
+func TestParallelSolversAgreeOnOptimum(t *testing.T) {
+	for seed := int64(0); seed < differentialSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			base := randomSchedulingGraph(rng,
+				20+rng.Intn(40),
+				4+rng.Intn(10),
+				1+rng.Intn(3))
+
+			ref := base.Clone()
+			res, err := NewCostScaling().Solve(ref, nil)
+			if err != nil {
+				t.Fatalf("sequential reference solve: %v", err)
+			}
+			want := res.Cost
+
+			for _, s := range parallelSolvers() {
+				g := base.Clone()
+				res, err := s.Solve(g, parallelOpts())
+				if err != nil {
+					t.Fatalf("parallel %s: %v", s.Name(), err)
+				}
+				if err := g.CheckFeasible(); err != nil {
+					t.Fatalf("parallel %s: infeasible flow: %v", s.Name(), err)
+				}
+				if err := g.CheckOptimal(); err != nil {
+					t.Fatalf("parallel %s: suboptimal flow: %v", s.Name(), err)
+				}
+				if res.Cost != want {
+					t.Fatalf("parallel %s: cost %d, sequential optimum %d",
+						s.Name(), res.Cost, want)
+				}
+				if res.Cost != g.TotalCost() {
+					t.Fatalf("parallel %s: reported %d but graph carries %d",
+						s.Name(), res.Cost, g.TotalCost())
+				}
+			}
+		})
+	}
+}
+
+// TestParallelGeneralGraphsAgree extends the parallel agreement check to
+// non-scheduling shapes: multi-unit supplies, wider capacities, negative
+// costs.
+func TestParallelGeneralGraphsAgree(t *testing.T) {
+	for seed := int64(0); seed < differentialSeeds/2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed + 7777))
+			base := randomGeneralGraph(rng, 8+rng.Intn(16))
+
+			want := agreeFromScratch(t, base, "sequential reference")
+			for _, s := range parallelSolvers() {
+				g := base.Clone()
+				res, err := s.Solve(g, parallelOpts())
+				if err != nil {
+					t.Fatalf("parallel %s: %v", s.Name(), err)
+				}
+				if err := g.CheckFeasible(); err != nil {
+					t.Fatalf("parallel %s: infeasible flow: %v", s.Name(), err)
+				}
+				if err := g.CheckOptimal(); err != nil {
+					t.Fatalf("parallel %s: suboptimal flow: %v", s.Name(), err)
+				}
+				if res.Cost != want {
+					t.Fatalf("parallel %s: cost %d, want %d", s.Name(), res.Cost, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelIncrementalCostScaling carries a parallel cost scaling solver
+// through warm-started change batches and checks each warm start against
+// the sequential from-scratch optimum — the §5.2 incremental workflow with
+// the parallel discharge engaged.
+func TestParallelIncrementalCostScaling(t *testing.T) {
+	const changeRounds = 3
+	for seed := int64(0); seed < differentialSeeds/2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			g := randomSchedulingGraph(rng,
+				20+rng.Intn(40),
+				4+rng.Intn(10),
+				1+rng.Intn(3))
+
+			inc := NewCostScaling()
+			if _, err := inc.Solve(g, parallelOpts()); err != nil {
+				t.Fatalf("initial parallel solve: %v", err)
+			}
+			for round := 1; round <= changeRounds; round++ {
+				var cs flow.ChangeSet
+				mutateSchedulingGraph(rand.New(rand.NewSource(seed*1009+int64(round))), g, &cs)
+				res, err := inc.SolveIncremental(g, &cs, parallelOpts())
+				if err != nil {
+					t.Fatalf("round %d: parallel incremental solve: %v", round, err)
+				}
+				if err := g.CheckFeasible(); err != nil {
+					t.Fatalf("round %d: infeasible flow: %v", round, err)
+				}
+				if err := g.CheckOptimal(); err != nil {
+					t.Fatalf("round %d: suboptimal flow: %v", round, err)
+				}
+				ref := g.Clone()
+				seq, err := NewCostScaling().Solve(ref, nil)
+				if err != nil {
+					t.Fatalf("round %d: sequential reference: %v", round, err)
+				}
+				if res.Cost != seq.Cost {
+					t.Fatalf("round %d: parallel warm start cost %d, sequential optimum %d",
+						round, res.Cost, seq.Cost)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSolversInfeasible checks that infeasibility survives the
+// parallel paths: a certified-then-fallback cost scaling run and a
+// slot-0-arbitrated SSP batch must both still report ErrInfeasible, never
+// a bogus solution.
+func TestParallelSolversInfeasible(t *testing.T) {
+	for _, s := range parallelSolvers() {
+		g := flow.NewGraph(3, 1)
+		task := g.AddNode(1, flow.KindTask)
+		m := g.AddNode(0, flow.KindMachine)
+		g.AddNode(-1, flow.KindSink) // no arc from m to sink
+		g.AddArc(task, m, 1, 1)
+		_, err := s.Solve(g, parallelOpts())
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("parallel %s: err = %v, want ErrInfeasible", s.Name(), err)
+		}
+	}
+}
+
+// TestParallelismOptionNormalization pins the dispatch rule: zero, one and
+// negative Parallelism all mean the strictly sequential path.
+func TestParallelismOptionNormalization(t *testing.T) {
+	cases := []struct {
+		opts *Options
+		want int
+	}{
+		{nil, 1},
+		{&Options{}, 1},
+		{&Options{Parallelism: 1}, 1},
+		{&Options{Parallelism: -3}, 1},
+		{&Options{Parallelism: 2}, 2},
+		{&Options{Parallelism: 8}, 8},
+	}
+	for _, c := range cases {
+		if got := c.opts.parallelism(); got != c.want {
+			t.Fatalf("parallelism(%+v) = %d, want %d", c.opts, got, c.want)
+		}
+	}
+}

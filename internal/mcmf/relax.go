@@ -94,10 +94,11 @@ func (r *Relaxation) run(g *flow.Graph, start time.Time, opts *Options) (Result,
 	r.grow(bound)
 	r.adj = g.Adjacency()
 	// Enforce reduced cost optimality for the initial pseudoflow.
+	pl := g.ArcPlanes()
 	for a := 0; a < g.ArcIDBound(); a++ {
 		arc := flow.ArcID(a)
-		if g.ArcInUse(arc) && g.Resid(arc) > 0 && g.ReducedCost(arc) < 0 {
-			g.Push(arc, g.Resid(arc))
+		if g.ArcInUse(arc) && pl.Resid[arc] > 0 && g.ReducedCost(arc) < 0 {
+			g.Push(arc, pl.Resid[arc])
 		}
 	}
 	r.excess = g.ImbalancesInto(r.excess)
@@ -152,16 +153,18 @@ func (r *Relaxation) label(g *flow.Graph, opts *Options, u flow.NodeID, via flow
 	r.parent[u] = via
 	r.znodes = append(r.znodes, u)
 	r.surplus += r.excess[u]
+	pl := g.ArcPlanes()
+	piU := g.Potential(u) // row-invariant: the scan never touches pi(u)
 	for _, a := range r.adj.Out(u) {
-		res := g.Resid(a)
+		res := pl.Resid[a]
 		if res <= 0 {
 			continue
 		}
-		v := g.Head(a)
+		v := pl.Head[a]
 		if r.labeled[v] == r.epoch {
 			continue
 		}
-		rc := g.ReducedCostFrom(u, a) // u joined at current delta, so this is exact
+		rc := pl.Cost[a] - piU + g.Potential(v) // u joined at current delta, so this is exact
 		switch {
 		case rc == 0:
 			switch {

@@ -1,17 +1,17 @@
 package mcmf
 
 import (
-	"sync"
-
 	"firmament/internal/flow"
 )
 
 // helperScratch holds the working arrays of the package-level helpers
-// (InitPotentials, PriceRefine, negativeCycle, MaxFlow). They are borrowed
-// from a pool per call instead of allocated fresh: the solver pool runs
-// PriceRefine every round and cycle canceling calls negativeCycle once per
-// cancelled cycle, so per-call allocation of four N-sized arrays showed up
-// directly in the steady-state allocation profile.
+// (InitPotentials, PriceRefine, negativeCycle, MaxFlow). Long-lived callers
+// pin one to themselves — SSP and cycle canceling embed one, the solver pool
+// holds one through Scratch — so that the steady-state solve loop performs
+// no allocation at all. (An earlier revision borrowed these from a
+// sync.Pool, but pool hits are not guaranteed: every GC cycle empties the
+// pool, and the misses showed up as steady allocations in the Fig. 7
+// benchmarks.)
 type helperScratch struct {
 	i64     []int64 // distances or excesses
 	counts  []int32 // relaxation counters, BFS levels
@@ -21,7 +21,16 @@ type helperScratch struct {
 	queue   []flow.NodeID
 }
 
-var helperPool = sync.Pool{New: func() any { return new(helperScratch) }}
+// Scratch owns reusable working storage for the package-level helper
+// functions. Callers that invoke InitPotentials, PriceRefine or MaxFlow
+// every scheduling round hold one Scratch and call the methods on it; the
+// plain functions are one-shot conveniences that allocate a fresh scratch.
+type Scratch struct {
+	s helperScratch
+}
+
+// NewScratch returns an empty Scratch; its arrays grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
 
 // int64s returns a zeroed int64 slice of length n, reusing capacity.
 func (s *helperScratch) int64s(n int) []int64 {
@@ -109,10 +118,19 @@ func (s *helperScratch) nodes(n int) []flow.NodeID {
 // Successive shortest path and relaxation call this when starting from
 // scratch on graphs that may contain negative-cost arcs.
 func InitPotentials(g *flow.Graph, opts *Options) bool {
+	var s helperScratch
+	return initPotentials(g, opts, &s)
+}
+
+// InitPotentials is the allocation-free variant using pinned scratch.
+func (sc *Scratch) InitPotentials(g *flow.Graph, opts *Options) bool {
+	return initPotentials(g, opts, &sc.s)
+}
+
+func initPotentials(g *flow.Graph, opts *Options, s *helperScratch) bool {
 	n := g.NodeIDBound()
 	adj := g.Adjacency()
-	s := helperPool.Get().(*helperScratch)
-	defer helperPool.Put(s)
+	pl := g.ArcPlanes()
 	if n == 0 {
 		return true
 	}
@@ -133,12 +151,13 @@ func InitPotentials(g *flow.Graph, opts *Options) bool {
 		qhead = (qhead + 1) % n
 		qlen--
 		inQueue[u] = false
+		du := dist[u]
 		for _, a := range adj.Out(u) {
-			if g.Resid(a) <= 0 {
+			if pl.Resid[a] <= 0 {
 				continue
 			}
-			v := g.Head(a)
-			if d := dist[u] + g.Cost(a); d < dist[v] {
+			v := pl.Head[a]
+			if d := du + pl.Cost[a]; d < dist[v] {
 				dist[v] = d
 				if !inQueue[v] {
 					relaxations[v]++
@@ -166,12 +185,11 @@ func InitPotentials(g *flow.Graph, opts *Options) bool {
 // The implementation is Bellman-Ford with parent pointers: if any distance
 // still improves in round N, walking parents from the improved node must
 // enter a cycle.
-func negativeCycle(g *flow.Graph, opts *Options, buf []flow.ArcID) []flow.ArcID {
+func negativeCycle(g *flow.Graph, opts *Options, buf []flow.ArcID, s *helperScratch) []flow.ArcID {
 	n := g.NodeIDBound()
-	s := helperPool.Get().(*helperScratch)
-	defer helperPool.Put(s)
 	dist := s.int64s(n)
 	parent := s.arcIDs(n)
+	pl := g.ArcPlanes()
 	var witness flow.NodeID = flow.InvalidNode
 	rounds := g.NumNodes()
 	for round := 0; round <= rounds; round++ {
@@ -179,16 +197,16 @@ func negativeCycle(g *flow.Graph, opts *Options, buf []flow.ArcID) []flow.ArcID 
 		var work int
 		for a := 0; a < g.ArcIDBound(); a++ {
 			arc := flow.ArcID(a)
-			if !g.ArcInUse(arc) || g.Resid(arc) <= 0 {
+			if !g.ArcInUse(arc) || pl.Resid[arc] <= 0 {
 				continue
 			}
 			work++
 			if work%stopCheckInterval == 0 && opts.stopped() {
 				return nil
 			}
-			u := g.Tail(arc)
-			v := g.Head(arc)
-			if d := dist[u] + g.Cost(arc); d < dist[v] {
+			u := pl.Head[arc^1]
+			v := pl.Head[arc]
+			if d := dist[u] + pl.Cost[arc]; d < dist[v] {
 				dist[v] = d
 				parent[v] = arc
 				witness = v
@@ -232,10 +250,20 @@ func negativeCycle(g *flow.Graph, opts *Options, buf []flow.ArcID) []flow.ArcID 
 // price refine to a finished relaxation solution so that the next
 // incremental cost scaling run can start from a small epsilon).
 func PriceRefine(g *flow.Graph, costScale, eps int64, opts *Options) bool {
+	var s helperScratch
+	return priceRefine(g, costScale, eps, opts, &s)
+}
+
+// PriceRefine is the allocation-free variant using pinned scratch; the
+// solver pool runs it every round.
+func (sc *Scratch) PriceRefine(g *flow.Graph, costScale, eps int64, opts *Options) bool {
+	return priceRefine(g, costScale, eps, opts, &sc.s)
+}
+
+func priceRefine(g *flow.Graph, costScale, eps int64, opts *Options, s *helperScratch) bool {
 	n := g.NodeIDBound()
 	adj := g.Adjacency()
-	s := helperPool.Get().(*helperScratch)
-	defer helperPool.Put(s)
+	pl := g.ArcPlanes()
 	if n == 0 {
 		return true
 	}
@@ -257,16 +285,17 @@ func PriceRefine(g *flow.Graph, costScale, eps int64, opts *Options) bool {
 		qhead = (qhead + 1) % n
 		qlen--
 		inQueue[u] = false
+		du := dist[u]
 		for _, a := range adj.Out(u) {
-			if g.Resid(a) <= 0 {
+			if pl.Resid[a] <= 0 {
 				continue
 			}
 			work++
 			if work%stopCheckInterval == 0 && opts.stopped() {
 				return false
 			}
-			v := g.Head(a)
-			if d := dist[u] + g.Cost(a)*costScale + eps; d < dist[v] {
+			v := pl.Head[a]
+			if d := du + pl.Cost[a]*costScale + eps; d < dist[v] {
 				dist[v] = d
 				if !inQueue[v] {
 					relaxations[v]++

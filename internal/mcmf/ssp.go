@@ -1,6 +1,7 @@
 package mcmf
 
 import (
+	"sync"
 	"time"
 
 	"firmament/internal/flow"
@@ -16,15 +17,24 @@ import (
 // Despite the best worst-case bound of the four algorithms, it only
 // outperforms cycle canceling on scheduling graphs (Figure 7) because every
 // unit of supply pays for a Dijkstra search.
+//
+// With Options.Parallelism > 1, searches for several surplus nodes run
+// concurrently against a read-only graph and are committed sequentially in
+// source order: the first search in each batch commits exactly as the
+// sequential algorithm would, and a later one commits only if its path is
+// still entirely zero-reduced-cost with free capacity after the earlier
+// commits — augmenting along such a path preserves the reduced cost
+// optimality invariant without repricing. Sources whose precomputed path
+// was invalidated simply search again in a later batch, so the result is
+// an optimal flow regardless of how the batches interleave.
 type SuccessiveShortestPath struct {
 	adj     flow.Adjacency
-	dist    []int64
-	parent  []flow.ArcID
-	visited []int32
-	epoch   int32
-	pq      distHeap
+	search  sspSearch // the sequential solver's (and batch slot 0's) state
 	excess  []int64
 	sources []flow.NodeID
+	scratch helperScratch // pinned storage for InitPotentials
+
+	workers []*sspSearch // extra per-goroutine search state, parallel mode
 }
 
 // NewSuccessiveShortestPath returns an SSP solver.
@@ -40,13 +50,13 @@ func (s *SuccessiveShortestPath) Solve(g *flow.Graph, opts *Options) (Result, er
 	start := time.Now()
 	g.ResetFlow()
 	g.ResetPotentials()
-	if !InitPotentials(g, opts) {
+	if !initPotentials(g, opts, &s.scratch) {
 		// A negative cycle with zero flow means negative-cost arcs form a
 		// cycle; saturating them is not modelled here — Firmament's graphs
 		// are DAGs, so this indicates a malformed input.
 		return Result{}, ErrInfeasible
 	}
-	s.grow(g.NodeIDBound())
+	s.search.grow(g.NodeIDBound())
 	s.adj = g.Adjacency()
 
 	s.excess = g.ImbalancesInto(s.excess)
@@ -59,44 +69,24 @@ func (s *SuccessiveShortestPath) Solve(g *flow.Graph, opts *Options) (Result, er
 	}
 	s.sources = sources
 
+	if opts.parallelism() > 1 {
+		return s.solveParallel(g, sources, excess, start, opts)
+	}
+
 	var iters int64
 	for _, src := range sources {
 		for excess[src] > 0 {
 			if opts.stopped() {
 				return Result{}, ErrStopped
 			}
-			target, ok := s.dijkstra(g, src, excess, opts)
+			target, ok := s.search.dijkstra(g, s.adj, src, excess, opts)
 			if !ok {
 				if opts.stopped() {
 					return Result{}, ErrStopped
 				}
 				return Result{}, ErrInfeasible
 			}
-			// Reprice so path arcs become zero reduced cost: the textbook
-			// update raises every settled node's potential by
-			// D - min(d(v), D), where D is the nearest deficit's distance.
-			d := s.dist[target]
-			g.Nodes(func(v flow.NodeID) {
-				if s.visited[v] == s.epoch && s.dist[v] < d {
-					g.SetPotential(v, g.Potential(v)+d-s.dist[v])
-				}
-			})
-			// Augment along parent pointers.
-			delta := min64(excess[src], -excess[target])
-			for v := target; v != src; {
-				a := s.parent[v]
-				if r := g.Resid(a); r < delta {
-					delta = r
-				}
-				v = g.Tail(a)
-			}
-			for v := target; v != src; {
-				a := s.parent[v]
-				g.Push(a, delta)
-				v = g.Tail(a)
-			}
-			excess[src] -= delta
-			excess[target] += delta
+			s.search.repriceAndAugment(g, src, target, excess)
 			iters++
 			opts.snapshot(start)
 		}
@@ -109,6 +99,116 @@ func (s *SuccessiveShortestPath) Solve(g *flow.Graph, opts *Options) (Result, er
 	}, nil
 }
 
+// solveParallel runs batches of up to Parallelism read-only Dijkstra
+// searches concurrently and commits their results sequentially. Committing
+// slot 0 is always valid (its search saw exactly the current graph); a
+// later slot commits only if revalidation shows its path still has free
+// capacity and zero reduced cost throughout. The graph is never mutated
+// while searches are in flight, so the searches need no synchronisation
+// beyond the batch barrier.
+func (s *SuccessiveShortestPath) solveParallel(g *flow.Graph, sources []flow.NodeID, excess []int64, start time.Time, opts *Options) (Result, error) {
+	k := opts.parallelism()
+	for len(s.workers) < k {
+		s.workers = append(s.workers, &sspSearch{})
+	}
+	bound := g.NodeIDBound()
+	for _, w := range s.workers[:k] {
+		w.grow(bound)
+	}
+
+	// active holds sources that still carry surplus; compacted each round.
+	active := append([]flow.NodeID(nil), sources...)
+	var iters int64
+	var wg sync.WaitGroup
+	for len(active) > 0 {
+		if opts.stopped() {
+			return Result{}, ErrStopped
+		}
+		batch := active
+		if len(batch) > k {
+			batch = batch[:k]
+		}
+		// Fan out: one read-only search per surplus node.
+		type outcome struct {
+			target flow.NodeID
+			ok     bool
+		}
+		results := make([]outcome, len(batch))
+		wg.Add(len(batch))
+		for i := range batch {
+			go func(i int) {
+				defer wg.Done()
+				w := s.workers[i]
+				t, ok := w.dijkstra(g, s.adj, batch[i], excess, opts)
+				results[i] = outcome{t, ok}
+			}(i)
+		}
+		wg.Wait()
+		if opts.stopped() {
+			return Result{}, ErrStopped
+		}
+		// Sequential commit in source order.
+		for i, src := range batch {
+			if excess[src] <= 0 {
+				continue
+			}
+			w := s.workers[i]
+			if i == 0 {
+				// Slot 0 searched the exact pre-batch graph, and no commit
+				// precedes it in this batch, so it commits unconditionally —
+				// identical to a sequential iteration.
+				if !results[i].ok {
+					return Result{}, ErrInfeasible
+				}
+				w.repriceAndAugment(g, src, results[i].target, excess)
+				iters++
+				continue
+			}
+			if !results[i].ok {
+				continue // stale "unreachable"; retry against the new graph
+			}
+			if w.commitIfStillTight(g, src, results[i].target, excess) {
+				iters++
+			}
+		}
+		opts.snapshot(start)
+		// Compact: keep sources that still have surplus, preserving order.
+		live := active[:0]
+		for _, src := range active {
+			if excess[src] > 0 {
+				live = append(live, src)
+			}
+		}
+		active = live
+	}
+	return Result{
+		Algorithm:  s.Name(),
+		Cost:       g.TotalCost(),
+		Runtime:    time.Since(start),
+		Iterations: iters,
+	}, nil
+}
+
+// sspSearch is the per-goroutine working state of one Dijkstra search: the
+// sequential solver owns one, and parallel mode owns one per batch slot.
+type sspSearch struct {
+	dist    []int64
+	parent  []flow.ArcID
+	visited []int32
+	touched []flow.NodeID // nodes labeled this epoch, for repricing
+	epoch   int32
+	pq      distHeap
+}
+
+func (w *sspSearch) grow(n int) {
+	if len(w.dist) < n {
+		w.dist = make([]int64, n)
+		w.parent = make([]flow.ArcID, n)
+		w.visited = make([]int32, n)
+		w.epoch = 0
+	}
+}
+
 // dijkstra computes shortest distances from src over residual arcs
 // weighted by reduced cost (non-negative by the reduced cost optimality
 // invariant), settling every reachable node — the textbook formulation
@@ -116,20 +216,26 @@ func (s *SuccessiveShortestPath) Solve(g *flow.Graph, opts *Options) (Result, er
 // shortest-path-tree per unit of routed flow and lose to everything except
 // cycle canceling at scale (paper Figure 7). It returns the nearest
 // deficit node, or ok=false if none is reachable.
-func (s *SuccessiveShortestPath) dijkstra(g *flow.Graph, src flow.NodeID, excess []int64, opts *Options) (flow.NodeID, bool) {
-	s.epoch++
-	s.pq.reset()
-	s.dist[src] = 0
-	s.visited[src] = s.epoch
-	s.parent[src] = flow.InvalidArc
-	s.pq.push(src, 0)
+//
+// The search only reads the graph, so any number of sspSearch instances
+// may run concurrently over the same quiescent graph.
+func (w *sspSearch) dijkstra(g *flow.Graph, adj flow.Adjacency, src flow.NodeID, excess []int64, opts *Options) (flow.NodeID, bool) {
+	pl := g.ArcPlanes()
+	w.epoch++
+	w.pq.reset()
+	w.touched = w.touched[:0]
+	w.dist[src] = 0
+	w.visited[src] = w.epoch
+	w.touched = append(w.touched, src)
+	w.parent[src] = flow.InvalidArc
+	w.pq.push(src, 0)
 	best := flow.InvalidNode
 	var bestDist int64
 	var work int
-	for s.pq.size() > 0 {
-		nd := s.pq.pop()
+	for w.pq.size() > 0 {
+		nd := w.pq.pop()
 		u := nd.node
-		if nd.dist > s.dist[u] {
+		if nd.dist > w.dist[u] {
 			continue // stale entry
 		}
 		work++
@@ -139,21 +245,28 @@ func (s *SuccessiveShortestPath) dijkstra(g *flow.Graph, src flow.NodeID, excess
 		if excess[u] < 0 && (best == flow.InvalidNode || nd.dist < bestDist) {
 			best, bestDist = u, nd.dist
 		}
-		for _, a := range s.adj.Out(u) {
-			if g.Resid(a) <= 0 {
+		// rc(a) = cost(a) - pi(u) + pi(head); pi(u) is row-invariant.
+		piU := g.Potential(u)
+		for _, a := range adj.Out(u) {
+			if pl.Resid[a] <= 0 {
 				continue
 			}
-			v := g.Head(a)
-			rc := g.ReducedCostFrom(u, a)
+			v := pl.Head[a]
+			rc := pl.Cost[a] - piU + g.Potential(v)
 			if rc < 0 {
 				rc = 0 // tolerate rounding of repriced unscanned nodes
 			}
 			d := nd.dist + rc
-			if s.visited[v] != s.epoch || d < s.dist[v] {
-				s.visited[v] = s.epoch
-				s.dist[v] = d
-				s.parent[v] = a
-				s.pq.push(v, d)
+			if w.visited[v] != w.epoch {
+				w.visited[v] = w.epoch
+				w.touched = append(w.touched, v)
+				w.dist[v] = d
+				w.parent[v] = a
+				w.pq.push(v, d)
+			} else if d < w.dist[v] {
+				w.dist[v] = d
+				w.parent[v] = a
+				w.pq.push(v, d)
 			}
 		}
 	}
@@ -163,13 +276,68 @@ func (s *SuccessiveShortestPath) dijkstra(g *flow.Graph, src flow.NodeID, excess
 	return best, true
 }
 
-func (s *SuccessiveShortestPath) grow(n int) {
-	if len(s.dist) < n {
-		s.dist = make([]int64, n)
-		s.parent = make([]flow.ArcID, n)
-		s.visited = make([]int32, n)
-		s.epoch = 0
+// repriceAndAugment applies a completed search: reprice so path arcs become
+// zero reduced cost — the textbook update raises every settled node's
+// potential by D - min(d(v), D), where D is the nearest deficit's distance
+// — then augment along the parent pointers. Only the nodes the search
+// actually labeled can satisfy d(v) < D, so repricing walks the search's
+// touched list rather than every node of the graph.
+func (w *sspSearch) repriceAndAugment(g *flow.Graph, src, target flow.NodeID, excess []int64) {
+	d := w.dist[target]
+	for _, v := range w.touched {
+		if w.dist[v] < d {
+			g.SetPotential(v, g.Potential(v)+d-w.dist[v])
+		}
 	}
+	delta := min64(excess[src], -excess[target])
+	for v := target; v != src; {
+		a := w.parent[v]
+		if r := g.Resid(a); r < delta {
+			delta = r
+		}
+		v = g.Tail(a)
+	}
+	for v := target; v != src; {
+		a := w.parent[v]
+		g.Push(a, delta)
+		v = g.Tail(a)
+	}
+	excess[src] -= delta
+	excess[target] += delta
+}
+
+// commitIfStillTight tries to apply a search computed against an older
+// graph state. Earlier commits in the batch have repriced nodes and moved
+// flow, so the stored shortest-path tree may be stale; the path is safe to
+// reuse only if, under the *current* potentials, every parent arc from
+// target back to src still has free capacity and zero reduced cost. Such an
+// augmentation keeps every residual arc's reduced cost non-negative (the
+// push only creates residual partners with rc = 0), so the SSP invariant
+// survives without a reprice. Returns whether it augmented.
+func (w *sspSearch) commitIfStillTight(g *flow.Graph, src, target flow.NodeID, excess []int64) bool {
+	if excess[target] >= 0 {
+		return false // an earlier commit consumed this deficit
+	}
+	delta := min64(excess[src], -excess[target])
+	for v := target; v != src; {
+		a := w.parent[v]
+		r := g.Resid(a)
+		if r <= 0 || g.ReducedCost(a) != 0 {
+			return false
+		}
+		if r < delta {
+			delta = r
+		}
+		v = g.Tail(a)
+	}
+	for v := target; v != src; {
+		a := w.parent[v]
+		g.Push(a, delta)
+		v = g.Tail(a)
+	}
+	excess[src] -= delta
+	excess[target] += delta
+	return true
 }
 
 // nodeDist is a (node, distance) pair ordered by distance.

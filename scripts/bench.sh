@@ -3,24 +3,35 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x COUNT=1 scripts/bench.sh /tmp/smoke.json   # CI smoke
-#   scripts/bench.sh BENCH_PR6.json                         # full snapshot
+#   scripts/bench.sh BENCH_PR7.json                         # full snapshot
+#   FIRMAMENT_BENCH_LARGE=1 scripts/bench.sh BENCH_PR7.json # + 1k/5k variants
 #
 # The snapshot records ns/op, B/op and allocs/op for the benchmarks that
 # gate the MCMF hot path (Fig. 3, 7, 11, 14 and the pool's per-round clone)
 # plus journal restore time, so that later PRs have a perf trajectory to
-# compare against.
+# compare against. With FIRMAMENT_BENCH_LARGE set, the 1k/5k-machine
+# Fig 7/11 variants are appended (a single iteration each — warming a
+# 5,000-machine cluster takes minutes, so they never run in CI smoke).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-3}"
 pattern='^(BenchmarkFig3QuincyRuntime|BenchmarkFig7Algorithms|BenchmarkFig11Incremental|BenchmarkFig14PlacementLatency|BenchmarkClone|BenchmarkRestore)$'
+large_pattern='^(BenchmarkFig7Large|BenchmarkFig11Large)$'
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+
+if [[ -n "${FIRMAMENT_BENCH_LARGE:-}" ]]; then
+    large_benchtime="${LARGE_BENCHTIME:-1x}"
+    large_count="${LARGE_COUNT:-1}"
+    go test -run '^$' -bench "$large_pattern" -benchmem \
+        -benchtime "$large_benchtime" -count "$large_count" -timeout 60m . | tee -a "$tmp"
+fi
 
 awk -v benchtime="$benchtime" -v count="$count" '
 /^Benchmark/ {
