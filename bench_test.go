@@ -23,6 +23,7 @@ import (
 	"firmament/internal/service"
 	"firmament/internal/sim"
 	"firmament/internal/storage"
+	"firmament/internal/template"
 	"firmament/internal/trace"
 )
 
@@ -613,4 +614,135 @@ func BenchmarkRestore(b *testing.B) {
 		svc.Close()
 		b.StartTimer()
 	}
+}
+
+// BenchmarkTemplateHitPath compares what a recurring job submission costs
+// with and without the placement-template fast path (internal/template,
+// docs/templates.md). The /hit variant runs exactly the admission sequence
+// a warm service round runs — gather the slot profile, fingerprint the job,
+// look up the cached template, validate it against live machine state, and
+// commit the placements — while /solver pays the full scheduling round
+// (graph update, min-cost solve, extraction, application) for the same
+// recurring job. The fast path must beat the solver by well over an order
+// of magnitude; that gap is the entire case for the cache.
+func BenchmarkTemplateHitPath(b *testing.B) {
+	topo := cluster.Topology{Racks: 4, MachinesPerRack: 16, SlotsPerMachine: 8}
+	const tasksPerJob = 16
+	specs := make([]cluster.TaskSpec, tasksPerJob)
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeIncrementalCostScaling
+
+	b.Run("hit", func(b *testing.B) {
+		cl := cluster.New(topo)
+		model := policy.NewLoadSpread(cl)
+		sig := model.TemplateSignature()
+		cache := template.NewCache(template.DefaultCapacity)
+		view := func(m cluster.MachineID) (running, slots int, healthy bool) {
+			mm := cl.Machine(m)
+			return mm.Running(), mm.Slots, mm.Healthy()
+		}
+
+		// Record the template the way a miss does: solve the first
+		// submission for real and capture where the solver put each task,
+		// at which occupancy level.
+		sched := core.NewScheduler(cl, model, cfg)
+		job0 := cl.SubmitJob(cluster.Batch, 0, 0, specs)
+		shape, ok := template.JobShape(cl, job0, sig, 0)
+		if !ok {
+			b.Fatal("job shape not templateable")
+		}
+		profile := template.GatherProfile(cl, nil)
+		r, err := sched.Schedule(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		level := make(map[cluster.MachineID]int32)
+		assign := make([]template.Assignment, 0, tasksPerJob)
+		for _, tid := range job0.Tasks {
+			m, ok := r.Mappings[tid]
+			if !ok {
+				b.Fatal("recording solve left a task unplaced")
+			}
+			assign = append(assign, template.Assignment{Machine: m, Level: level[m]})
+			level[m]++
+		}
+		cache.Insert(&template.Template{
+			FP:      template.Fingerprint(shape, profile),
+			Shape:   shape,
+			Profile: append([]template.Slot(nil), profile...),
+			Assign:  assign,
+		})
+		for _, tid := range job0.Tasks {
+			cl.Complete(tid, 0)
+		}
+		cl.DrainEvents()
+
+		now := time.Millisecond
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			now += time.Millisecond
+			job := cl.SubmitJob(cluster.Batch, 0, now, specs)
+			b.StartTimer()
+
+			shape, ok := template.JobShape(cl, job, sig, 0)
+			if !ok {
+				b.Fatal("job shape not templateable")
+			}
+			profile = template.GatherProfile(cl, profile)
+			tpl := cache.Lookup(template.Fingerprint(shape, profile))
+			if tpl == nil || !tpl.Matches(shape, profile) || !tpl.Validate(view) {
+				b.Fatal("recurring submission missed the cache")
+			}
+			for i, as := range tpl.Assign {
+				if err := cl.Place(job.Tasks[i], as.Machine, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.StopTimer()
+			for _, tid := range job.Tasks {
+				cl.Complete(tid, now)
+			}
+			cl.DrainEvents()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("solver", func(b *testing.B) {
+		cl := cluster.New(topo)
+		sched := core.NewScheduler(cl, policy.NewLoadSpread(cl), cfg)
+		// Warm round so the incremental solver starts from a solved flow,
+		// like the service between rounds.
+		job0 := cl.SubmitJob(cluster.Batch, 0, 0, specs)
+		if _, _, err := sched.RunOnce(0); err != nil {
+			b.Fatal(err)
+		}
+		for _, tid := range job0.Tasks {
+			if cl.Task(tid).State == cluster.TaskRunning {
+				cl.Complete(tid, 0)
+			}
+		}
+
+		now := time.Millisecond
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			now += time.Millisecond
+			job := cl.SubmitJob(cluster.Batch, 0, now, specs)
+			b.StartTimer()
+			if _, _, err := sched.RunOnce(now); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			for _, tid := range job.Tasks {
+				if cl.Task(tid).State == cluster.TaskRunning {
+					cl.Complete(tid, now)
+				}
+			}
+			b.StartTimer()
+		}
+	})
 }

@@ -232,6 +232,9 @@ func main() {
 			"restore a recorded journal directory, report the recovered state, and exit")
 		solverPar = flag.Int("solver-parallelism", runtime.GOMAXPROCS(0),
 			"worker goroutines per MCMF solve (1 = strictly sequential, bit-deterministic)")
+		templates = flag.Bool("templates", false,
+			"enable the placement-template fast path: cache solver decisions for recurring job shapes "+
+				"and commit repeats without a solve")
 	)
 	flag.Parse()
 
@@ -260,7 +263,11 @@ func main() {
 	}
 	cfg.Mode = m
 	cfg.SolverParallelism = *solverPar
-	scfg := firmament.ServiceConfig{RoundInterval: *interval, MaxPendingFactor: *pendingFac}
+	scfg := firmament.ServiceConfig{
+		RoundInterval:    *interval,
+		MaxPendingFactor: *pendingFac,
+		Templates:        *templates,
+	}
 
 	sync, err := firmament.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -307,7 +314,7 @@ func main() {
 	fmt.Printf("driver: mode %s, %d submitters x %d tasks/job, round interval %v, max-pending-factor %g\n",
 		*mode, *submitters, *tasksPerJob, *interval, *pendingFac)
 
-	runDriver(d, *submitters, *tasksPerJob, *duration, *perSub)
+	runDriver(d, *submitters, *tasksPerJob, *duration, *perSub, *templates)
 }
 
 // openService builds the in-process service: plain in-memory, or — with
@@ -359,6 +366,10 @@ func runReplay(opts firmament.ServiceOptions) {
 		st.Migrated, st.Preempted, st.StaleCompletions, st.StaleMachineOps, st.StaleDecisions)
 	fmt.Printf("solver: %d warm starts, %d full restarts\n",
 		st.SolverWarmStarts, st.SolverFullRestarts)
+	if st.TemplateHits+st.TemplateMisses+st.TemplateInvalidations > 0 {
+		fmt.Printf("templates: %d hits, %d misses, %d invalidations\n",
+			st.TemplateHits, st.TemplateMisses, st.TemplateInvalidations)
+	}
 	if err := svc.Close(); err != nil {
 		log.Fatalf("close: %v", err)
 	}
@@ -416,7 +427,7 @@ func waitReady(cli *firmament.APIClient, timeout time.Duration) error {
 // collector completes every task the moment it is placed (batched through
 // one request on the network path), and the run is judged on the delta of
 // the door's stats.
-func runDriver(d door, submitters, tasksPerJob int, duration time.Duration, perSub bool) {
+func runDriver(d door, submitters, tasksPerJob int, duration time.Duration, perSub, templates bool) {
 	st0, err := d.stats()
 	if err != nil {
 		log.Fatalf("stats: %v", err)
@@ -533,6 +544,25 @@ func runDriver(d door, submitters, tasksPerJob int, duration time.Duration, perS
 			tasks := n * tasksPerJob
 			fmt.Printf("  submitter %2d: %6d jobs %8d tasks (%.0f tasks/sec)\n",
 				i, n, tasks, float64(tasks)/elapsed.Seconds())
+		}
+	}
+	if templates {
+		hits := st.TemplateHits - st0.TemplateHits
+		misses := st.TemplateMisses - st0.TemplateMisses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("templates: %d hits, %d misses (%.0f%% hit rate), %d invalidations\n",
+			hits, misses, rate*100,
+			st.TemplateInvalidations-st0.TemplateInvalidations)
+		// The closed loop completes every job before resubmitting the same
+		// shape — the exact workload the cache exists for. Zero hits means
+		// the fast path is broken, and the CI template smoke relies on this
+		// exit code to notice.
+		if submitters > 0 && hits == 0 {
+			log.Printf("FAIL: -templates on, yet zero template hits in %.2fs", elapsed.Seconds())
+			os.Exit(1)
 		}
 	}
 	// A load driver that placed nothing despite having submitters is a

@@ -153,9 +153,16 @@ type Stats struct {
 	DroppedPublications int64 `json:"dropped_publications"`
 	SolverWarmStarts    int64 `json:"solver_warm_starts"`
 	SolverFullRestarts  int64 `json:"solver_full_restarts"`
-	Pending             int64 `json:"pending"`
-	Running             int64 `json:"running"`
-	SolverParallelism   int64 `json:"solver_parallelism"`
+	// Template fast-path counters (zero unless the service runs with
+	// ServiceConfig.Templates on): jobs placed straight from the placement
+	// template cache, jobs that fell through to the solver, and cached
+	// templates dropped on machine churn.
+	TemplateHits          int64 `json:"template_hits"`
+	TemplateMisses        int64 `json:"template_misses"`
+	TemplateInvalidations int64 `json:"template_invalidations"`
+	Pending               int64 `json:"pending"`
+	Running               int64 `json:"running"`
+	SolverParallelism     int64 `json:"solver_parallelism"`
 
 	QueueDepth       DistSummary `json:"queue_depth"`
 	BatchSize        DistSummary `json:"batch_size"`
@@ -169,27 +176,30 @@ type Stats struct {
 // shape.
 func StatsFromService(st service.Stats) Stats {
 	return Stats{
-		Rounds:              st.Rounds,
-		Submitted:           st.Submitted,
-		Backlogged:          st.Backlogged,
-		Placed:              st.Placed,
-		Migrated:            st.Migrated,
-		Preempted:           st.Preempted,
-		Completed:           st.Completed,
-		StaleCompletions:    st.StaleCompletions,
-		StaleMachineOps:     st.StaleMachineOps,
-		StaleDecisions:      st.StaleDecisions,
-		Unscheduled:         st.Unscheduled,
-		DroppedPublications: st.DroppedPublications,
-		SolverWarmStarts:    st.SolverWarmStarts,
-		SolverFullRestarts:  st.SolverFullRestarts,
-		Pending:             st.Pending,
-		Running:             st.Running,
-		SolverParallelism:   st.SolverParallelism,
-		QueueDepth:          summarize(st.QueueDepth),
-		BatchSize:           summarize(st.BatchSize),
-		AlgorithmRuntime:    summarize(st.AlgorithmRuntime),
-		RoundTime:           summarize(st.RoundTime),
-		PlacementLatency:    summarize(st.PlacementLatency),
+		Rounds:                st.Rounds,
+		Submitted:             st.Submitted,
+		Backlogged:            st.Backlogged,
+		Placed:                st.Placed,
+		Migrated:              st.Migrated,
+		Preempted:             st.Preempted,
+		Completed:             st.Completed,
+		StaleCompletions:      st.StaleCompletions,
+		StaleMachineOps:       st.StaleMachineOps,
+		StaleDecisions:        st.StaleDecisions,
+		Unscheduled:           st.Unscheduled,
+		DroppedPublications:   st.DroppedPublications,
+		SolverWarmStarts:      st.SolverWarmStarts,
+		SolverFullRestarts:    st.SolverFullRestarts,
+		TemplateHits:          st.TemplateHits,
+		TemplateMisses:        st.TemplateMisses,
+		TemplateInvalidations: st.TemplateInvalidations,
+		Pending:               st.Pending,
+		Running:               st.Running,
+		SolverParallelism:     st.SolverParallelism,
+		QueueDepth:            summarize(st.QueueDepth),
+		BatchSize:             summarize(st.BatchSize),
+		AlgorithmRuntime:      summarize(st.AlgorithmRuntime),
+		RoundTime:             summarize(st.RoundTime),
+		PlacementLatency:      summarize(st.PlacementLatency),
 	}
 }

@@ -120,6 +120,10 @@ func (gm *GraphManager) Graph() *flow.Graph { return gm.g }
 // Changes exposes the change set accumulated since the last Reset.
 func (gm *GraphManager) Changes() *flow.ChangeSet { return &gm.changes }
 
+// CostModel returns the policy the graph is shaped by. The serving layer
+// uses it to discover whether the policy opts into template caching.
+func (gm *GraphManager) CostModel() policy.CostModel { return gm.model }
+
 // NumTasks returns the number of task nodes currently in the graph.
 func (gm *GraphManager) NumTasks() int64 { return gm.numTasks }
 

@@ -127,6 +127,38 @@ func (s *Scheduler) ReplayRound(now time.Duration, batches [][]cluster.Event) (*
 	})
 }
 
+// UpdateOnly folds pending cluster events into the flow network and runs
+// the per-round graph update WITHOUT solving — the template fast path uses
+// it for rounds whose every placement came from the cache, so the graph
+// absorbs the round's state changes (template-placed tasks enter as
+// running) at memory speed. The change set is deliberately NOT reset: it
+// keeps accumulating until the next real solve consumes it incrementally.
+// It returns the number of events folded in.
+func (s *Scheduler) UpdateOnly(now time.Duration) int {
+	n := s.gm.ApplyClusterEvents()
+	s.gm.UpdateRound(now)
+	return n
+}
+
+// ReplayUpdateOnly is UpdateOnly for the crash-recovery replay path: it
+// folds the recorded event batches of an unsolved (template-only) round
+// instead of draining the cluster's own journals.
+func (s *Scheduler) ReplayUpdateOnly(now time.Duration, batches [][]cluster.Event) int {
+	n := 0
+	for _, b := range batches {
+		s.gm.ApplyEvents(b)
+		n += len(b)
+	}
+	s.gm.UpdateRound(now)
+	return n
+}
+
+// PendingChanges reports the graph changes accumulated since the last
+// solve — non-zero only after UpdateOnly rounds. The snapshot codec does
+// not carry the change set (snapshots are cut at solved quiescence), so
+// the durable service defers snapshots while changes are pending.
+func (s *Scheduler) PendingChanges() int { return s.gm.Changes().Len() }
+
 func (s *Scheduler) schedule(now time.Duration, drain func() int) (*Round, error) {
 	t0 := time.Now()
 	nevents := drain()

@@ -97,4 +97,28 @@ func (p *LoadSpread) AggArcs(id AggID, now time.Duration) []MachineArc {
 	return out
 }
 
+// TemplateSignature opts LoadSpread into placement-template caching
+// (internal/template). The policy qualifies for the template equivalence
+// contract because its arc costs are pure functions of machine occupancy
+// levels: any two cluster states with equal healthy-machine (running,
+// slots) multisets have equal placement optima, and greedy lowest-level
+// slot selection IS the joint optimum (the slot costs form a uniform
+// matroid). The signature folds every cost parameter, so retuning the
+// policy orphans all previously recorded templates.
+func (p *LoadSpread) TemplateSignature() uint64 {
+	h := uint64(fnvSeed)
+	for _, s := range p.Name() {
+		h = (h ^ uint64(s)) * fnvStep
+	}
+	for _, v := range [...]Cost{p.CostPerTask, p.BaseUnscheduled, p.PreemptionPenalty} {
+		h = (h ^ uint64(v)) * fnvStep
+	}
+	return h
+}
+
+const (
+	fnvSeed = 14695981039346656037
+	fnvStep = 1099511628211
+)
+
 var _ CostModel = (*LoadSpread)(nil)

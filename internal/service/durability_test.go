@@ -9,6 +9,7 @@ import (
 	"firmament/internal/cluster"
 	"firmament/internal/core"
 	"firmament/internal/policy"
+	"firmament/internal/template"
 	"firmament/internal/wal"
 )
 
@@ -25,8 +26,12 @@ func detCfg() core.Config {
 // manualService builds a non-durable service whose rounds the test drives
 // by hand (no scheduling loop), on an injectable virtual clock.
 func manualService(topo cluster.Topology, clock *time.Duration) *Service {
+	return manualServiceCfg(topo, clock, Config{})
+}
+
+func manualServiceCfg(topo cluster.Topology, clock *time.Duration, cfg Config) *Service {
 	cl := cluster.New(topo)
-	s := newService(cl, policy.NewLoadSpread(cl), detCfg(), Config{})
+	s := newService(cl, policy.NewLoadSpread(cl), detCfg(), cfg)
 	s.testHookNow = func() time.Duration { return *clock }
 	return s
 }
@@ -34,6 +39,11 @@ func manualService(topo cluster.Topology, clock *time.Duration) *Service {
 // manualDurable builds (or restores) a durable service over dir, loop not
 // started. It mirrors Open minus the goroutines.
 func manualDurable(t *testing.T, dir string, clock *time.Duration) (*Service, *RestoreInfo) {
+	t.Helper()
+	return manualDurableCfg(t, dir, clock, Config{})
+}
+
+func manualDurableCfg(t *testing.T, dir string, clock *time.Duration, svcCfg Config) (*Service, *RestoreInfo) {
 	t.Helper()
 	dur := DurabilityConfig{
 		Dir:           dir,
@@ -46,6 +56,7 @@ func manualDurable(t *testing.T, dir string, clock *time.Duration) (*Service, *R
 		Topology:   cluster.Topology{Racks: 2, MachinesPerRack: 2, SlotsPerMachine: 4},
 		Model:      func(cl *cluster.Cluster) policy.CostModel { return policy.NewLoadSpread(cl) },
 		Scheduler:  detCfg(),
+		Service:    svcCfg,
 		Durability: dur,
 	}
 	log, err := wal.Open(dir, wal.Options{SegmentBytes: dur.SegmentBytes, Sync: dur.Sync})
@@ -238,9 +249,24 @@ func drainPlacements(ch <-chan Placement) []Placement {
 // next round's placements. The restored run must also warm-start — zero
 // from-scratch solves across the whole crash+replay+resume cycle.
 func TestCrashRecoveryEquivalence(t *testing.T) {
-	for _, seed := range []int64{1, 7, 42} {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+	for _, withTemplates := range []bool{false, true} {
+		variant := "solver"
+		if withTemplates {
+			variant = "templates"
+		}
+		for _, seed := range []int64{1, 7, 42} {
+			seed := seed
+			withTemplates := withTemplates
+			t.Run(fmt.Sprintf("%s/seed%d", variant, seed), func(t *testing.T) {
+				crashRecoveryEquivalence(t, seed, withTemplates)
+			})
+		}
+	}
+}
+
+func crashRecoveryEquivalence(t *testing.T, seed int64, withTemplates bool) {
+	{
+		{
 			rng := rand.New(rand.NewSource(seed))
 			const rounds = 10
 			script := genScript(rng, rounds)
@@ -248,11 +274,62 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 
 			var clock time.Duration
 			dir := t.TempDir()
-			a, info := manualDurable(t, dir, &clock)
+			svcCfg := Config{Templates: withTemplates}
+			a, info := manualDurableCfg(t, dir, &clock, svcCfg)
 			if info.Restored || info.ReplayedRecords != 0 {
 				t.Fatalf("fresh dir reported restore: %+v", info)
 			}
-			b := manualService(cluster.Topology{Racks: 2, MachinesPerRack: 2, SlotsPerMachine: 4}, &clock)
+			// The twin sees the identical workload uninterrupted. In the
+			// template variant it must be durable too (snapshot pacing forces
+			// solves on snapshot rounds, so a non-durable twin's solve
+			// cadence — and flow-graph state — would diverge); it just never
+			// crashes.
+			var b *Service
+			if withTemplates {
+				b, _ = manualDurableCfg(t, t.TempDir(), &clock, svcCfg)
+			} else {
+				b = manualService(cluster.Topology{Racks: 2, MachinesPerRack: 2, SlotsPerMachine: 4}, &clock)
+			}
+
+			// Warm the template cache on both twins before the random phase:
+			// a recurring shape submitted, placed, retired, and resubmitted
+			// guarantees at least one recorded template and one cache hit is
+			// live at crash time.
+			if withTemplates {
+				// Three cycles, not two: together with the 10 random rounds
+				// the total is 13, so the last round does not coincide with a
+				// SnapshotEvery=4 cut and a journal tail is left to replay.
+				warmShape := make([]cluster.TaskSpec, 2)
+				for cycle := 0; cycle < 3; cycle++ {
+					clock += time.Millisecond
+					ja, err := a.Submit(cluster.Batch, 0, warmShape)
+					if err != nil {
+						t.Fatalf("warm-up Submit: %v", err)
+					}
+					jb, err := b.Submit(cluster.Batch, 0, warmShape)
+					if err != nil {
+						t.Fatalf("warm-up twin Submit: %v", err)
+					}
+					clock += time.Millisecond
+					if _, err := a.runRound(); err != nil {
+						t.Fatalf("warm-up round: %v", err)
+					}
+					if _, err := b.runRound(); err != nil {
+						t.Fatalf("warm-up twin round: %v", err)
+					}
+					for i := range ja.Tasks {
+						if err := a.Complete(ja.Tasks[i]); err != nil {
+							t.Fatalf("warm-up Complete: %v", err)
+						}
+						if err := b.Complete(jb.Tasks[i]); err != nil {
+							t.Fatalf("warm-up twin Complete: %v", err)
+						}
+					}
+				}
+				if st := a.Stats(); st.TemplateHits == 0 {
+					t.Fatalf("warm-up produced no template hits (misses %d)", st.TemplateMisses)
+				}
+			}
 
 			for r := 0; r < rounds; r++ {
 				clock += time.Millisecond
@@ -272,13 +349,20 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 			applyScript(t, a, tail)
 			applyScript(t, b, tail)
 
+			if withTemplates {
+				if got, want := a.TemplateCacheFingerprint(), b.TemplateCacheFingerprint(); got != want {
+					t.Fatalf("template caches diverged pre-kill (live bug, not a replay bug): %x != %x (lens %d/%d)",
+						got, want, a.TemplateCacheLen(), b.TemplateCacheLen())
+				}
+			}
+
 			// Kill A: drop it on the floor. Everything acknowledged was
 			// flushed; nothing was gracefully snapshot.
 			aWatch, aCancel := a.Watch()
 			defer aCancel()
 			_ = aWatch // subscriber on the dead service must not matter
 
-			a2, info2 := manualDurable(t, dir, &clock)
+			a2, info2 := manualDurableCfg(t, dir, &clock, svcCfg)
 			if !info2.Restored {
 				t.Fatal("expected a snapshot restore")
 			}
@@ -337,7 +421,67 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 			if st.SolverWarmStarts == 0 {
 				t.Fatal("no warm starts recorded across restore")
 			}
-		})
+
+			if withTemplates {
+				// The warm cache must survive the crash bit for bit: the
+				// restored cache equals the uninterrupted twin's, and the
+				// restored service keeps serving hits. A fresh recurring
+				// cycle proves the restored cache is live, not just present.
+				if got, want := a2.TemplateCacheFingerprint(), b.TemplateCacheFingerprint(); got != want {
+					a2.tmpl.cache.Range(func(tp *template.Template) { t.Logf("restored: fp %x shape %+v assign %v", tp.FP, tp.Shape, tp.Assign) })
+					b.tmpl.cache.Range(func(tp *template.Template) { t.Logf("twin:     fp %x shape %+v assign %v", tp.FP, tp.Shape, tp.Assign) })
+					t.Fatalf("template cache fingerprint diverged after restore: %x != %x", got, want)
+				}
+				if got, want := a2.TemplateCacheLen(), b.TemplateCacheLen(); got != want {
+					t.Fatalf("restored cache holds %d templates, twin holds %d", got, want)
+				}
+				if st.TemplateHits == 0 {
+					t.Fatal("template hit counter lost across restore")
+				}
+				free := 0
+				a2.cl.Machines(func(m *cluster.Machine) {
+					if m.Healthy() {
+						free += m.Slots - m.Running()
+					}
+				})
+				if free >= 3 && a2.cl.NumPending() == 0 {
+					hitsBefore := a2.Stats().TemplateHits
+					postShape := make([]cluster.TaskSpec, 3)
+					for cycle := 0; cycle < 2; cycle++ {
+						clock += time.Millisecond
+						ja, err := a2.Submit(cluster.Batch, 0, postShape)
+						if err != nil {
+							t.Fatalf("post-restore Submit: %v", err)
+						}
+						jb, err := b.Submit(cluster.Batch, 0, postShape)
+						if err != nil {
+							t.Fatalf("post-restore twin Submit: %v", err)
+						}
+						clock += time.Millisecond
+						if _, err := a2.runRound(); err != nil {
+							t.Fatalf("post-restore cycle round: %v", err)
+						}
+						if _, err := b.runRound(); err != nil {
+							t.Fatalf("post-restore twin cycle round: %v", err)
+						}
+						for i := range ja.Tasks {
+							if err := a2.Complete(ja.Tasks[i]); err != nil {
+								t.Fatalf("post-restore Complete: %v", err)
+							}
+							if err := b.Complete(jb.Tasks[i]); err != nil {
+								t.Fatalf("post-restore twin Complete: %v", err)
+							}
+						}
+					}
+					if got := a2.Stats().TemplateHits; got <= hitsBefore {
+						t.Fatalf("restored service served no new template hits (%d before, %d after)", hitsBefore, got)
+					}
+					compareCounters(t, "post-restore-cycle", a2.Stats(), b.Stats())
+				} else {
+					t.Logf("cluster too loaded for post-restore hit cycle (free %d, pending %d)", free, a2.cl.NumPending())
+				}
+			}
+		}
 	}
 }
 
@@ -360,6 +504,9 @@ func compareCounters(t *testing.T, when string, a, b Stats) {
 		{"Unscheduled", a.Unscheduled, b.Unscheduled},
 		{"Pending", a.Pending, b.Pending},
 		{"Running", a.Running, b.Running},
+		{"TemplateHits", a.TemplateHits, b.TemplateHits},
+		{"TemplateMisses", a.TemplateMisses, b.TemplateMisses},
+		{"TemplateInvalidations", a.TemplateInvalidations, b.TemplateInvalidations},
 	} {
 		if p.a != p.b {
 			t.Errorf("%s: %s = %d, twin has %d", when, p.name, p.a, p.b)
@@ -483,5 +630,95 @@ func TestOpenReplaysWALWithoutSnapshot(t *testing.T) {
 	}
 	if got, want := a2.sched.Fingerprint(), a.sched.Fingerprint(); got != want {
 		t.Fatalf("scheduler fingerprint diverged: %x != %x", got, want)
+	}
+}
+
+// TestReplayTemplateDeterminism is the regression test for the replay
+// contract of template hits: a journal recorded with a warm cache contains
+// rounds that never solved (every placement came from the cache), and
+// Replay must reproduce those rounds from the journaled template decisions
+// alone — never by re-running admission against whatever cache state replay
+// happens to hold. Two independent replays of the same journal must agree
+// with each other and with the live service, bit for bit.
+func TestReplayTemplateDeterminism(t *testing.T) {
+	var clock time.Duration
+	dir := t.TempDir()
+	svcCfg := Config{Templates: true}
+	a, _ := manualDurableCfg(t, dir, &clock, svcCfg)
+
+	// One miss (solved round, template recorded), then two pure hits
+	// (unsolved rounds whose placements exist only as journaled template
+	// decisions). The last job stays running so the journal's final state
+	// has no pending work.
+	shape := []cluster.TaskSpec{{Duration: time.Second}, {Duration: 2 * time.Second}}
+	for cycle := 0; cycle < 3; cycle++ {
+		clock += time.Millisecond
+		job, err := a.Submit(cluster.Batch, 0, shape)
+		if err != nil {
+			t.Fatalf("cycle %d Submit: %v", cycle, err)
+		}
+		clock += time.Millisecond
+		if _, err := a.runRound(); err != nil {
+			t.Fatalf("cycle %d runRound: %v", cycle, err)
+		}
+		if cycle < 2 {
+			for _, tid := range job.Tasks {
+				if err := a.Complete(tid); err != nil {
+					t.Fatalf("cycle %d Complete: %v", cycle, err)
+				}
+			}
+		}
+	}
+	liveStats := a.Stats()
+	if liveStats.TemplateHits != 2 || liveStats.TemplateMisses != 1 {
+		t.Fatalf("scenario must produce 2 hits / 1 miss, got %d/%d",
+			liveStats.TemplateHits, liveStats.TemplateMisses)
+	}
+	liveCluster := a.cl.Fingerprint()
+	liveCache := a.TemplateCacheFingerprint()
+	liveLen := a.TemplateCacheLen()
+	// Kill: a is abandoned without Close, so no graceful snapshot exists
+	// and every round must come back from the WAL.
+
+	opts := Options{
+		Topology:   cluster.Topology{Racks: 2, MachinesPerRack: 2, SlotsPerMachine: 4},
+		Model:      func(cl *cluster.Cluster) policy.CostModel { return policy.NewLoadSpread(cl) },
+		Scheduler:  detCfg(),
+		Service:    svcCfg,
+		Durability: DurabilityConfig{Dir: dir},
+	}
+	for run := 0; run < 2; run++ {
+		svc, info, err := Replay(opts)
+		if err != nil {
+			t.Fatalf("Replay run %d: %v", run, err)
+		}
+		// Stop the detached loop before comparing; idle rounds it may have
+		// ticked change Rounds but none of the compared values.
+		svc.Close()
+		if info.ReplayedRounds != 3 {
+			t.Fatalf("run %d replayed %d rounds, want 3", run, info.ReplayedRounds)
+		}
+		st := svc.Stats()
+		if st.TemplateHits != liveStats.TemplateHits ||
+			st.TemplateMisses != liveStats.TemplateMisses ||
+			st.TemplateInvalidations != liveStats.TemplateInvalidations {
+			t.Fatalf("run %d template counters diverged: hits %d/%d misses %d/%d invals %d/%d",
+				run, st.TemplateHits, liveStats.TemplateHits,
+				st.TemplateMisses, liveStats.TemplateMisses,
+				st.TemplateInvalidations, liveStats.TemplateInvalidations)
+		}
+		if st.Placed != liveStats.Placed || st.Submitted != liveStats.Submitted {
+			t.Fatalf("run %d placed/submitted diverged: %d/%d vs live %d/%d",
+				run, st.Placed, st.Submitted, liveStats.Placed, liveStats.Submitted)
+		}
+		if got := svc.cl.Fingerprint(); got != liveCluster {
+			t.Fatalf("run %d cluster fingerprint %x != live %x", run, got, liveCluster)
+		}
+		if got := svc.TemplateCacheFingerprint(); got != liveCache {
+			t.Fatalf("run %d cache fingerprint %x != live %x", run, got, liveCache)
+		}
+		if got := svc.TemplateCacheLen(); got != liveLen {
+			t.Fatalf("run %d cache len %d != live %d", run, got, liveLen)
+		}
 	}
 }

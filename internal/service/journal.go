@@ -7,6 +7,7 @@ import (
 
 	"firmament/internal/cluster"
 	"firmament/internal/core"
+	"firmament/internal/template"
 	"firmament/internal/wal"
 )
 
@@ -70,6 +71,23 @@ type roundRecord struct {
 	// waiting.
 	staleDecisions uint32
 	unscheduled    uint32
+
+	// Template fast-path extension (absent in pre-template journals, which
+	// decode as solved rounds with no template activity). solved is false
+	// for rounds whose every placement came from the template cache — the
+	// live round ran no solve, so replay folds the batches with an
+	// update-only pass instead of re-solving. The cache deltas (hit
+	// placements, dropped fingerprints, inserted templates, counter
+	// deltas) are recorded verbatim: replay applies them instead of
+	// recomputing, so a replayed scenario behaves identically whether or
+	// not the cache was warm at record time.
+	solved        bool
+	tmplDecisions []core.Decision
+	tmplInserts   []*template.Template
+	tmplDrops     []uint64
+	tmplHits      uint32
+	tmplMisses    uint32
+	tmplInvals    uint32
 }
 
 // journal wraps the WAL with the service's low-water-mark accounting.
@@ -225,14 +243,45 @@ func encodeRoundRecord(e *wal.Enc, rr *roundRecord) {
 	}
 	e.U32(uint32(len(rr.decisions)))
 	for _, dc := range rr.decisions {
-		e.I64(int64(dc.Task))
-		e.U8(uint8(dc.Kind))
-		e.I64(int64(dc.Machine))
-		e.I64(int64(dc.Job))
-		e.Dur(dc.SubmitTime)
+		encodeDecision(e, dc)
 	}
 	e.U32(rr.staleDecisions)
 	e.U32(rr.unscheduled)
+	// Template extension (readers of pre-template records stop above).
+	e.Bool(rr.solved)
+	e.U32(uint32(len(rr.tmplDecisions)))
+	for _, dc := range rr.tmplDecisions {
+		encodeDecision(e, dc)
+	}
+	e.U32(uint32(len(rr.tmplDrops)))
+	for _, fp := range rr.tmplDrops {
+		e.U64(fp)
+	}
+	e.U32(uint32(len(rr.tmplInserts)))
+	for _, t := range rr.tmplInserts {
+		template.EncodeTemplate(e, t)
+	}
+	e.U32(rr.tmplHits)
+	e.U32(rr.tmplMisses)
+	e.U32(rr.tmplInvals)
+}
+
+func encodeDecision(e *wal.Enc, dc core.Decision) {
+	e.I64(int64(dc.Task))
+	e.U8(uint8(dc.Kind))
+	e.I64(int64(dc.Machine))
+	e.I64(int64(dc.Job))
+	e.Dur(dc.SubmitTime)
+}
+
+func decodeDecision(d *wal.Dec) core.Decision {
+	return core.Decision{
+		Task:       cluster.TaskID(d.I64()),
+		Kind:       core.DecisionKind(d.U8()),
+		Machine:    cluster.MachineID(d.I64()),
+		Job:        cluster.JobID(d.I64()),
+		SubmitTime: d.Dur(),
+	}
 }
 
 func decodeRoundRecord(d *wal.Dec) (roundRecord, error) {
@@ -264,16 +313,41 @@ func decodeRoundRecord(d *wal.Dec) (roundRecord, error) {
 	nd := d.Len(33)
 	rr.decisions = make([]core.Decision, 0, nd)
 	for i := 0; i < nd; i++ {
-		rr.decisions = append(rr.decisions, core.Decision{
-			Task:       cluster.TaskID(d.I64()),
-			Kind:       core.DecisionKind(d.U8()),
-			Machine:    cluster.MachineID(d.I64()),
-			Job:        cluster.JobID(d.I64()),
-			SubmitTime: d.Dur(),
-		})
+		rr.decisions = append(rr.decisions, decodeDecision(d))
 	}
 	rr.staleDecisions = d.U32()
 	rr.unscheduled = d.U32()
+	if d.Err() == nil && d.Remaining() == 0 {
+		// Pre-template journal: every round was solved and touched no
+		// template cache.
+		rr.solved = true
+		return rr, nil
+	}
+	rr.solved = d.Bool()
+	ntd := d.Len(33)
+	if ntd > 0 {
+		rr.tmplDecisions = make([]core.Decision, 0, ntd)
+		for i := 0; i < ntd; i++ {
+			rr.tmplDecisions = append(rr.tmplDecisions, decodeDecision(d))
+		}
+	}
+	ndr := d.Len(8)
+	if ndr > 0 {
+		rr.tmplDrops = make([]uint64, 0, ndr)
+		for i := 0; i < ndr; i++ {
+			rr.tmplDrops = append(rr.tmplDrops, d.U64())
+		}
+	}
+	nin := d.Len(49)
+	if nin > 0 {
+		rr.tmplInserts = make([]*template.Template, 0, nin)
+		for i := 0; i < nin; i++ {
+			rr.tmplInserts = append(rr.tmplInserts, template.DecodeTemplate(d))
+		}
+	}
+	rr.tmplHits = d.U32()
+	rr.tmplMisses = d.U32()
+	rr.tmplInvals = d.U32()
 	if err := d.Err(); err != nil {
 		return roundRecord{}, fmt.Errorf("service: corrupt round record: %w", err)
 	}

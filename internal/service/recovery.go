@@ -88,7 +88,10 @@ type RestoreInfo struct {
 	PendingTasks int
 }
 
-const snapMetaVersion = 1
+// snapMetaVersion 2 added the template counters to the meta section and a
+// fourth snapshot section carrying the template cache; version-1 snapshots
+// (pre-template) still restore, with an empty cache.
+const snapMetaVersion = 2
 
 // Open builds a durable service: it opens (or creates) the write-ahead
 // journal in opts.Durability.Dir, restores the latest snapshot if one
@@ -206,13 +209,20 @@ func restoreSnapshot(opts Options, r io.Reader) (*Service, time.Duration, error)
 		return nil, 0, fmt.Errorf("service: snapshot meta: %w", err)
 	}
 	md := wal.NewDec(meta)
-	if v := md.U32(); v != snapMetaVersion {
-		return nil, 0, fmt.Errorf("service: snapshot meta version %d (want %d)", v, snapMetaVersion)
+	v := md.U32()
+	if v != 1 && v != snapMetaVersion {
+		return nil, 0, fmt.Errorf("service: snapshot meta version %d (want <= %d)", v, snapMetaVersion)
 	}
 	rounds := md.I64()
 	lastNow := md.Dur()
-	counters := [...]int64{md.I64(), md.I64(), md.I64(), md.I64(), md.I64(),
-		md.I64(), md.I64(), md.I64(), md.I64(), md.I64()}
+	ncounters := 13
+	if v == 1 {
+		ncounters = 10
+	}
+	counters := make([]int64, ncounters)
+	for i := range counters {
+		counters[i] = md.I64()
+	}
 	if err := md.Err(); err != nil {
 		return nil, 0, fmt.Errorf("service: snapshot meta: %w", err)
 	}
@@ -247,6 +257,28 @@ func restoreSnapshot(opts Options, r io.Reader) (*Service, time.Duration, error)
 	s.unscheduled.Store(counters[7])
 	s.warmStarts.Store(counters[8])
 	s.fullRestarts.Store(counters[9])
+	if v >= 2 {
+		s.templateHits.Store(counters[10])
+		s.templateMisses.Store(counters[11])
+		s.templateInvals.Store(counters[12])
+		tb, err := wal.ReadSection(r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("service: snapshot template section: %w", err)
+		}
+		td := wal.NewDec(tb)
+		if td.Bool() {
+			if s.tmpl == nil {
+				// The journal was recorded with templates on; replaying its
+				// round records needs the cache. Restoring without it would
+				// silently diverge, so fail loudly.
+				return nil, 0, errors.New("service: snapshot carries a template cache but Config.Templates is off (or the policy lacks a TemplateSignature)")
+			}
+			s.tmpl.cache.DecodeInto(td)
+		}
+		if err := td.Err(); err != nil {
+			return nil, 0, fmt.Errorf("service: snapshot template section: %w", err)
+		}
+	}
 	return s, lastNow, nil
 }
 
@@ -270,6 +302,9 @@ func (s *Service) saveSnapshot() error {
 	meta.I64(s.unscheduled.Load())
 	meta.I64(s.warmStarts.Load())
 	meta.I64(s.fullRestarts.Load())
+	meta.I64(s.templateHits.Load())
+	meta.I64(s.templateMisses.Load())
+	meta.I64(s.templateInvals.Load())
 	_, err := s.jrn.log.SaveSnapshot(lw, func(w io.Writer) error {
 		if err := wal.WriteSection(w, meta.B); err != nil {
 			return err
@@ -281,7 +316,17 @@ func (s *Service) saveSnapshot() error {
 		}
 		var se wal.Enc
 		s.sched.EncodeSnapshot(&se)
-		return wal.WriteSection(w, se.B)
+		if err := wal.WriteSection(w, se.B); err != nil {
+			return err
+		}
+		var te wal.Enc
+		if s.tmpl != nil {
+			te.Bool(true)
+			s.tmpl.cache.Encode(&te)
+		} else {
+			te.Bool(false)
+		}
+		return wal.WriteSection(w, te.B)
 	})
 	return err
 }
@@ -296,6 +341,12 @@ func (s *Service) saveSnapshot() error {
 func (s *Service) replay(lw uint64, snapRound int64, lastNow time.Duration, info *RestoreInfo) error {
 	pending := make(map[uint64]op)
 	maxNow := lastNow
+	// cand reconstructs the template candidate queue: a submit record queues
+	// its job, a round record clears the queue (that round's admission drain
+	// consumed everything queued before it). Whatever survives the tail was
+	// submitted after the last journaled round — exactly the jobs whose
+	// admission attempt the crash stole — and is re-queued below.
+	var cand []cluster.JobID
 	err := s.jrn.log.Replay(lw, func(seq uint64, payload []byte) error {
 		d := wal.NewDec(payload)
 		switch k := d.U8(); k {
@@ -308,6 +359,7 @@ func (s *Service) replay(lw uint64, snapRound int64, lastNow time.Duration, info
 			if at > maxNow {
 				maxNow = at
 			}
+			cand = append(cand, id)
 			// A fuzzy snapshot may already hold the job (its registration
 			// finished before the cluster section was encoded); replay only
 			// what it missed.
@@ -331,6 +383,7 @@ func (s *Service) replay(lw uint64, snapRound int64, lastNow time.Duration, info
 			for _, eo := range rr.ops {
 				delete(pending, eo.seq)
 			}
+			cand = cand[:0]
 			if rr.round <= snapRound {
 				// The snapshot already reflects this round; only its intent
 				// consumption mattered.
@@ -365,6 +418,12 @@ func (s *Service) replay(lw uint64, snapRound int64, lastNow time.Duration, info
 		s.opsQueued.Add(1)
 	}
 	info.PendingOps = len(seqs)
+
+	// Give the jobs the crash robbed of their admission attempt one on the
+	// first post-restore round, like any freshly submitted job.
+	for _, id := range cand {
+		s.noteTemplateCandidate(id)
+	}
 
 	// The submission counter is front-door-owned and therefore not captured
 	// consistently by a fuzzy snapshot; every task ever submitted is in
@@ -411,32 +470,73 @@ func (s *Service) replayRound(rr *roundRecord) error {
 		}
 	}
 
+	// Template cache deltas and hit placements replay verbatim from the
+	// record — never recomputed, so the replayed run is deterministic
+	// whether or not the cache was warm when the journal was written.
+	if s.tmpl == nil && (len(rr.tmplDecisions) > 0 || len(rr.tmplDrops) > 0 || len(rr.tmplInserts) > 0) {
+		return fmt.Errorf("round %d carries template records but Config.Templates is off", rr.round)
+	}
+	if s.tmpl != nil {
+		for _, fp := range rr.tmplDrops {
+			s.tmpl.cache.Drop(fp)
+		}
+	}
+	if len(rr.tmplDecisions) > 0 {
+		// Hit placements were committed at drain time, before the live
+		// round folded events — replay must apply them before the fold so
+		// the graph sees those tasks as running, exactly as the live
+		// update did.
+		tap := s.sched.ApplyDecisions(rr.tmplDecisions, now)
+		if tap.Stale != 0 {
+			return fmt.Errorf("round %d: %d journaled template placements failed to re-apply", rr.round, tap.Stale)
+		}
+		s.placed.Add(int64(tap.Placed))
+	}
+
 	// The replayed mutations re-queued events on the cluster's shard
 	// journals, but the graph must see the exact batches the live round
 	// drained (concurrent submitters made the live interleaving): discard
 	// the re-queued ones and fold the recorded ones.
 	s.cl.DrainEventShards(func([]cluster.Event) {})
-	r, err := s.sched.ReplayRound(now, rr.batches)
-	if err != nil {
-		return fmt.Errorf("round %d re-solve: %w", rr.round, err)
-	}
-	if r.Stats.Pool.Incremental {
-		s.warmStarts.Add(1)
-	}
-	if r.Stats.Pool.FullRestart {
-		s.fullRestarts.Add(1)
-	}
+	if rr.solved {
+		r, err := s.sched.ReplayRound(now, rr.batches)
+		if err != nil {
+			return fmt.Errorf("round %d re-solve: %w", rr.round, err)
+		}
+		if r.Stats.Pool.Incremental {
+			s.warmStarts.Add(1)
+		}
+		if r.Stats.Pool.FullRestart {
+			s.fullRestarts.Add(1)
+		}
 
-	// Force the journaled decisions; the re-solve's own mappings are only
-	// there to move the flow network through the same states. On identical
-	// cluster state every journaled decision must apply.
-	ap := s.sched.ApplyDecisions(rr.decisions, rr.applyNow)
-	if ap.Stale != 0 {
-		return fmt.Errorf("round %d: %d journaled decisions failed to re-apply", rr.round, ap.Stale)
+		// Force the journaled decisions; the re-solve's own mappings are only
+		// there to move the flow network through the same states. On identical
+		// cluster state every journaled decision must apply.
+		ap := s.sched.ApplyDecisions(rr.decisions, rr.applyNow)
+		if ap.Stale != 0 {
+			return fmt.Errorf("round %d: %d journaled decisions failed to re-apply", rr.round, ap.Stale)
+		}
+		s.placed.Add(int64(ap.Placed))
+		s.migrated.Add(int64(ap.Migrated))
+		s.preempted.Add(int64(ap.Preempted))
+	} else {
+		// The live round placed everything from the template cache and
+		// skipped the solve; replay the same update-only pass so the graph
+		// (and its accumulated change set) moves through identical states.
+		if len(rr.decisions) != 0 {
+			return fmt.Errorf("round %d: unsolved round carries %d solver decisions", rr.round, len(rr.decisions))
+		}
+		s.sched.ReplayUpdateOnly(now, rr.batches)
 	}
-	s.placed.Add(int64(ap.Placed))
-	s.migrated.Add(int64(ap.Migrated))
-	s.preempted.Add(int64(ap.Preempted))
+	if s.tmpl != nil {
+		for _, t := range rr.tmplInserts {
+			s.tmpl.cache.Insert(t)
+		}
+		s.templateHits.Add(int64(rr.tmplHits))
+		s.templateMisses.Add(int64(rr.tmplMisses))
+		s.templateInvals.Add(int64(rr.tmplInvals))
+	}
 	s.staleDecisions.Add(int64(rr.staleDecisions))
 	s.unscheduled.Add(int64(rr.unscheduled))
 	return nil

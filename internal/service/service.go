@@ -93,6 +93,16 @@ type Config struct {
 	// that pass the admission check together may overshoot it by a few
 	// jobs.
 	MaxPendingFactor float64
+	// Templates enables the placement-template fast path
+	// (internal/template): solver decisions for recurring job shapes are
+	// cached and, after an O(tasks) validation against live machine state,
+	// committed without a solve. Takes effect only when the policy opts in
+	// by implementing template.Signer — see docs/templates.md for the
+	// equivalence contract.
+	Templates bool
+	// TemplateCapacity bounds the template cache (FIFO eviction).
+	// Default 1024.
+	TemplateCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -238,6 +248,14 @@ type Service struct {
 	warmStarts       atomic.Int64
 	fullRestarts     atomic.Int64
 
+	templateHits   atomic.Int64
+	templateMisses atomic.Int64
+	templateInvals atomic.Int64
+
+	// tmpl is the placement-template fast path state (nil when disabled or
+	// when the policy does not implement template.Signer). See template.go.
+	tmpl *tmplState
+
 	queueDepth       metrics.SyncDist
 	batchSize        metrics.SyncDist
 	algoRuntime      metrics.SyncDist
@@ -285,6 +303,9 @@ func newServiceWith(cl *cluster.Cluster, sched *core.Scheduler, cfg Config) *Ser
 		s.opShards[i] = &opShard{}
 	}
 	s.bpCond = sync.NewCond(&s.bpMu)
+	if cfg.Templates {
+		s.tmpl = newTmplState(sched.GraphManager().CostModel(), cfg.TemplateCapacity)
+	}
 	return s
 }
 
@@ -416,6 +437,7 @@ func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.T
 	now := s.now()
 	if s.jrn == nil {
 		job := s.cl.SubmitJob(class, priority, now, specs)
+		s.noteTemplateCandidate(job.ID)
 		s.submitted.Add(int64(len(specs)))
 		s.wake()
 		return job, nil
@@ -434,6 +456,7 @@ func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.T
 	}
 	job := s.cl.SubmitJobWithID(id, class, priority, now, specs)
 	s.jrn.releaseSubmit(seq)
+	s.noteTemplateCandidate(job.ID)
 	s.submitted.Add(int64(len(specs)))
 	s.wake()
 	if err := s.jrn.syncTo(seq); err != nil {
@@ -596,7 +619,10 @@ func (s *Service) Close() error {
 			// so it captures everything) and trims the log; after a loop
 			// death the WAL alone is the consistent truth — the dying round
 			// never journaled, so its partial effects must not be snapshot.
-			if s.Err() == nil {
+			// Unsolved template rounds may have left graph changes the
+			// snapshot codec cannot carry; then the WAL alone stays the
+			// consistent truth and no snapshot is cut.
+			if s.Err() == nil && s.sched.PendingChanges() == 0 {
 				if err := s.saveSnapshot(); err != nil {
 					s.closeErr = err
 				} else if err := s.jrn.log.TruncateBefore(s.dur.Retain); err != nil {
@@ -718,6 +744,9 @@ func (s *Service) runRound() (progress bool, err error) {
 		s.enactedOps = s.enactedOps[:0]
 		s.recDecisions = s.recDecisions[:0]
 	}
+	if s.tmpl != nil {
+		s.tmpl.resetRound()
+	}
 
 	// Drain the sharded ingestion queues — one buffer swap per shard.
 	now := s.now()
@@ -743,6 +772,11 @@ func (s *Service) runRound() (progress bool, err error) {
 			if err := s.cl.RemoveMachine(o.machine, now); err != nil {
 				s.staleMachineOps.Add(1)
 				stale = true
+			} else if s.tmpl != nil {
+				// Templates that place work on the removed machine are now
+				// meaningless; invalidate them eagerly (the drops ride the
+				// round record so replay reproduces the cache state).
+				s.tmpl.invalidateMachine(o.machine)
 			}
 		case opRestoreMachine:
 			if err := s.cl.RestoreMachine(o.machine, now); err != nil {
@@ -760,63 +794,110 @@ func (s *Service) runRound() (progress bool, err error) {
 		s.testHookBeforeSchedule()
 	}
 
-	r, err := s.sched.Schedule(now)
-	if err != nil {
-		return false, err
-	}
-	// Batch size: cluster events the graph update actually folded in
-	// (submissions logged since the last round plus the ops just applied).
-	// This is the drained count reported by the update itself — a
-	// queue-depth read taken before the drain would miss events that arrive
-	// in the window between read and drain, and a round that folded them in
-	// would be misclassified as idle, triggering exponential backoff while
-	// work was actually done.
-	batchEvents := r.Stats.Events
-	s.batchSize.Add(float64(batchEvents))
-	if r.Stats.Pool.Incremental {
-		s.warmStarts.Add(1)
-	}
-	if r.Stats.Pool.FullRestart {
-		s.fullRestarts.Add(1)
+	// Template admission: commit validated cache hits for recurring jobs
+	// before the round mutates the graph. Hit placements skip the solver
+	// entirely; misses are remembered for post-solve recording.
+	var decisions []Placement
+	if s.tmpl != nil {
+		decisions, err = s.admitTemplates(now, round)
+		if err != nil {
+			return false, err
+		}
 	}
 
-	applyNow := s.now()
-	decisions := make([]Placement, 0, len(r.Mappings))
-	ap := s.sched.ApplyRoundRecorded(r, applyNow, func(d core.Decision) {
-		// Job and submission time come from the decision itself, resolved
-		// before the cluster was mutated: looking the task up here raced
-		// same-batch completions, which deleted the record and zeroed the
-		// published latency.
-		p := Placement{Task: d.Task, Job: d.Job, Kind: d.Kind, Machine: d.Machine,
-			Round: uint64(round)}
-		if d.Kind == core.DecisionPlaced {
-			p.Latency = applyNow - d.SubmitTime
-			s.placementLatency.AddDuration(p.Latency)
+	// When every pending task was just placed from the template cache,
+	// skip the solve: fold events and update the graph only (the change
+	// set keeps accumulating for the next incremental solve). A due
+	// snapshot forces a real solve — the snapshot codec does not carry the
+	// change set, so snapshots are only cut at solved quiescence.
+	snapshotDue := durable && round-s.lastSnapRound >= s.dur.SnapshotEvery
+	solved := true
+	applyNow := now
+	var ap core.ApplyStats
+	var batchEvents int
+	if s.tmpl != nil && len(decisions) > 0 && s.cl.NumPending() == 0 && !snapshotDue {
+		solved = false
+		batchEvents = s.sched.UpdateOnly(now)
+		s.batchSize.Add(float64(batchEvents))
+	} else {
+		r, err := s.sched.Schedule(now)
+		if err != nil {
+			return false, err
 		}
-		decisions = append(decisions, p)
-		if durable {
-			s.recDecisions = append(s.recDecisions, d)
+		// Batch size: cluster events the graph update actually folded in
+		// (submissions logged since the last round plus the ops just
+		// applied). This is the drained count reported by the update itself
+		// — a queue-depth read taken before the drain would miss events that
+		// arrive in the window between read and drain, and a round that
+		// folded them in would be misclassified as idle, triggering
+		// exponential backoff while work was actually done.
+		batchEvents = r.Stats.Events
+		s.batchSize.Add(float64(batchEvents))
+		if r.Stats.Pool.Incremental {
+			s.warmStarts.Add(1)
 		}
-	})
+		if r.Stats.Pool.FullRestart {
+			s.fullRestarts.Add(1)
+		}
+
+		applyNow = s.now()
+		recording := s.tmpl != nil && len(s.tmpl.missCand) > 0
+		if recording {
+			s.tmpl.captureOccupancy(s.cl)
+		}
+		if decisions == nil {
+			decisions = make([]Placement, 0, len(r.Mappings))
+		}
+		ap = s.sched.ApplyRoundRecorded(r, applyNow, func(d core.Decision) {
+			// Job and submission time come from the decision itself, resolved
+			// before the cluster was mutated: looking the task up here raced
+			// same-batch completions, which deleted the record and zeroed the
+			// published latency.
+			p := Placement{Task: d.Task, Job: d.Job, Kind: d.Kind, Machine: d.Machine,
+				Round: uint64(round)}
+			if d.Kind == core.DecisionPlaced {
+				p.Latency = applyNow - d.SubmitTime
+				s.placementLatency.AddDuration(p.Latency)
+			}
+			decisions = append(decisions, p)
+			if durable {
+				s.recDecisions = append(s.recDecisions, d)
+			}
+			if recording && d.Kind == core.DecisionPlaced {
+				s.tmpl.applied = append(s.tmpl.applied, d)
+			}
+		})
+		// Record templates for the misses the solve just placed — but only
+		// when the apply performed placements alone: preemptions, migrations
+		// or stale skips would make the occupancy simulation inexact.
+		if recording && ap.Preempted == 0 && ap.Migrated == 0 && ap.Stale == 0 {
+			s.recordTemplates(now)
+		}
+		s.algoRuntime.AddDuration(r.Stats.AlgorithmRuntime())
+	}
 
 	s.placed.Add(int64(ap.Placed))
 	s.migrated.Add(int64(ap.Migrated))
 	s.preempted.Add(int64(ap.Preempted))
 	s.staleDecisions.Add(int64(ap.Stale))
 	s.unscheduled.Add(int64(ap.Unscheduled))
-	s.algoRuntime.AddDuration(r.Stats.AlgorithmRuntime())
+	if s.tmpl != nil {
+		s.templateHits.Add(int64(s.tmpl.hits))
+		s.templateMisses.Add(int64(s.tmpl.misses))
+		s.templateInvals.Add(int64(s.tmpl.invals))
+	}
 
 	if durable {
 		// Journal the round before publishing it: nothing becomes visible
 		// to subscribers that recovery could not re-enact.
-		if err := s.journalRound(round, now, applyNow, ap); err != nil {
+		if err := s.journalRound(round, now, applyNow, ap, solved); err != nil {
 			return false, err
 		}
 	}
 
 	s.publish(decisions)
 
-	if durable && round-s.lastSnapRound >= s.dur.SnapshotEvery {
+	if snapshotDue {
 		if err := s.saveSnapshot(); err != nil {
 			return false, err
 		}
@@ -838,7 +919,7 @@ func (s *Service) runRound() (progress bool, err error) {
 // record to a power cut is safe — recovery re-enacts the round from the
 // intents and submits that precede it (all individually acknowledged), it
 // just re-solves instead of force-applying.
-func (s *Service) journalRound(round int64, drainNow, applyNow time.Duration, ap core.ApplyStats) error {
+func (s *Service) journalRound(round int64, drainNow, applyNow time.Duration, ap core.ApplyStats, solved bool) error {
 	rr := roundRecord{
 		round:          round,
 		drainNow:       drainNow,
@@ -848,6 +929,20 @@ func (s *Service) journalRound(round int64, drainNow, applyNow time.Duration, ap
 		decisions:      s.recDecisions,
 		staleDecisions: uint32(ap.Stale),
 		unscheduled:    uint32(ap.Unscheduled),
+		solved:         solved,
+	}
+	if s.tmpl != nil {
+		// The template cache deltas ride the round record verbatim — hits
+		// (as force-applied decisions), drops and inserts — so replay
+		// reproduces both the placements and the cache state without
+		// recomputing either: a replayed scenario is deterministic whether
+		// or not the cache was warm at record time.
+		rr.tmplDecisions = s.tmpl.decisions
+		rr.tmplInserts = s.tmpl.inserts
+		rr.tmplDrops = s.tmpl.drops
+		rr.tmplHits = s.tmpl.hits
+		rr.tmplMisses = s.tmpl.misses
+		rr.tmplInvals = s.tmpl.invals
 	}
 	var e wal.Enc
 	encodeRoundRecord(&e, &rr)
@@ -915,6 +1010,16 @@ type Stats struct {
 	// SolverFullRestarts stays zero across a restart.
 	SolverWarmStarts   int64
 	SolverFullRestarts int64
+	// TemplateHits counts jobs placed entirely from the template cache
+	// (internal/template) without a solve; TemplateMisses counts candidate
+	// jobs that fell through to the solver (and were recorded);
+	// TemplateInvalidations counts cached templates dropped because
+	// machine state moved on (machine removal, failed validation, hash
+	// collision). All zero when Config.Templates is off or the policy does
+	// not implement template.Signer.
+	TemplateHits          int64
+	TemplateMisses        int64
+	TemplateInvalidations int64
 	// Pending and Running are point-in-time cluster gauges (tasks).
 	Pending int64
 	Running int64
@@ -948,27 +1053,30 @@ func (s *Service) Cluster() *cluster.Cluster { return s.cl }
 
 func (s *Service) Stats() Stats {
 	return Stats{
-		Rounds:              s.rounds.Load(),
-		Submitted:           s.submitted.Load(),
-		Backlogged:          s.refused.Load(),
-		Placed:              s.placed.Load(),
-		Migrated:            s.migrated.Load(),
-		Preempted:           s.preempted.Load(),
-		Completed:           s.completed.Load(),
-		StaleCompletions:    s.staleCompletions.Load(),
-		StaleMachineOps:     s.staleMachineOps.Load(),
-		StaleDecisions:      s.staleDecisions.Load(),
-		Unscheduled:         s.unscheduled.Load(),
-		DroppedPublications: s.dropped.Load(),
-		SolverWarmStarts:    s.warmStarts.Load(),
-		SolverFullRestarts:  s.fullRestarts.Load(),
-		Pending:             int64(s.cl.NumPending()),
-		Running:             int64(s.cl.NumRunning()),
-		SolverParallelism:   int64(s.sched.Pool().Options.Parallelism),
-		QueueDepth:          s.queueDepth.Snapshot(),
-		BatchSize:           s.batchSize.Snapshot(),
-		AlgorithmRuntime:    s.algoRuntime.Snapshot(),
-		RoundTime:           s.roundTime.Snapshot(),
-		PlacementLatency:    s.placementLatency.Snapshot(),
+		Rounds:                s.rounds.Load(),
+		Submitted:             s.submitted.Load(),
+		Backlogged:            s.refused.Load(),
+		Placed:                s.placed.Load(),
+		Migrated:              s.migrated.Load(),
+		Preempted:             s.preempted.Load(),
+		Completed:             s.completed.Load(),
+		StaleCompletions:      s.staleCompletions.Load(),
+		StaleMachineOps:       s.staleMachineOps.Load(),
+		StaleDecisions:        s.staleDecisions.Load(),
+		Unscheduled:           s.unscheduled.Load(),
+		DroppedPublications:   s.dropped.Load(),
+		SolverWarmStarts:      s.warmStarts.Load(),
+		SolverFullRestarts:    s.fullRestarts.Load(),
+		TemplateHits:          s.templateHits.Load(),
+		TemplateMisses:        s.templateMisses.Load(),
+		TemplateInvalidations: s.templateInvals.Load(),
+		Pending:               int64(s.cl.NumPending()),
+		Running:               int64(s.cl.NumRunning()),
+		SolverParallelism:     int64(s.sched.Pool().Options.Parallelism),
+		QueueDepth:            s.queueDepth.Snapshot(),
+		BatchSize:             s.batchSize.Snapshot(),
+		AlgorithmRuntime:      s.algoRuntime.Snapshot(),
+		RoundTime:             s.roundTime.Snapshot(),
+		PlacementLatency:      s.placementLatency.Snapshot(),
 	}
 }

@@ -1,0 +1,399 @@
+// Package template implements placement templates: a fingerprint-keyed
+// fast path that caches solver decisions for recurring jobs, in the spirit
+// of Execution Templates (Mashayekhi et al.) — the control plane caches an
+// expensive decision once and thereafter validates and patches it instead
+// of re-deriving it. Production scheduler traffic is overwhelmingly
+// recurring: the same job shape arrives against the same slot-availability
+// profile millions of times, yet every submission normally pays a full (or
+// incremental) MCMF round.
+//
+// A template records, for one job, the per-task (machine, occupancy-level)
+// assignment an optimal solve produced, keyed by a fingerprint of
+// everything the cost model could see: the policy's own signature (its
+// tunable parameters), the job's class, priority, wait-cost bucket and
+// per-task workload specs, and the sorted (running, slots) occupancy
+// profile of every healthy machine. On a later submission with the same
+// fingerprint, the cached assignment is re-validated in O(tasks) against
+// live machine state and committed without touching the solver.
+//
+// # Equivalence contract
+//
+// The fast path is only sound for cost models whose optimum is a function
+// of the fingerprinted state. A policy opts in by implementing Signer;
+// LoadSpread qualifies because its arc costs depend only on machine
+// occupancy levels (the k-th additional task on a machine costs
+// k·CostPerTask regardless of which machine or which task), so any two
+// states with equal occupancy multisets have equal optima, and a recorded
+// assignment that re-validates level-for-level realizes exactly the
+// recorded — optimal — total cost. Policies whose costs depend on state
+// outside the fingerprint (data locality against a mutable storage layer,
+// bandwidth reservations) must not implement Signer. See docs/templates.md.
+package template
+
+import (
+	"firmament/internal/cluster"
+	"firmament/internal/wal"
+)
+
+// Signer is implemented by cost models that opt into template caching. The
+// signature must change whenever any cost-relevant parameter of the policy
+// changes, and implementing it asserts the equivalence contract above: the
+// policy's optimum placement cost is a pure function of the template
+// fingerprint (job shape + healthy-machine occupancy profile).
+type Signer interface {
+	TemplateSignature() uint64
+}
+
+// Hash is a chainable FNV-1a-style 64-bit hash folding whole words.
+type Hash uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewHash returns the hash seed.
+func NewHash() Hash { return fnvOffset }
+
+// U64 folds v into the hash.
+func (h Hash) U64(v uint64) Hash { return (h ^ Hash(v)) * fnvPrime }
+
+// I64 folds v into the hash.
+func (h Hash) I64(v int64) Hash { return h.U64(uint64(v)) }
+
+// Slot is one healthy machine's occupancy-profile entry.
+type Slot struct {
+	Running int32
+	Slots   int32
+}
+
+// Shape is the policy-visible shape of a candidate job: everything except
+// the slot-availability profile that the fingerprint covers.
+type Shape struct {
+	// Sig is the policy's TemplateSignature.
+	Sig uint64
+	// Class and Priority are the job's scheduling class.
+	Class    uint8
+	Priority int64
+	// Wait is the job's wait-cost bucket (policy.WaitCost of its queueing
+	// delay) at admission time. Without it a template recorded for a
+	// long-waiting job — whose high unscheduled cost justified expensive
+	// placements — could wrongly hit a fresh job whose optimum leaves
+	// tasks unscheduled.
+	Wait int64
+	// NTasks and Specs pin the task count and the hash of the per-task
+	// workload specs (duration, input file/size, network demand).
+	NTasks int32
+	Specs  uint64
+}
+
+func (sh Shape) hash(h Hash) Hash {
+	return h.U64(sh.Sig).U64(uint64(sh.Class)).I64(sh.Priority).
+		I64(sh.Wait).I64(int64(sh.NTasks)).U64(sh.Specs)
+}
+
+// Fingerprint keys a (job shape, slot profile) pair. The profile must be
+// sorted (GatherProfile sorts). The fingerprint is only a cache index: a
+// lookup is confirmed by Template.Matches against the full stored shape
+// and profile, so a 64-bit collision can cost a cache miss, never a wrong
+// placement.
+func Fingerprint(sh Shape, profile []Slot) uint64 {
+	h := sh.hash(NewHash()).I64(int64(len(profile)))
+	for _, s := range profile {
+		h = h.U64(uint64(uint32(s.Running))<<32 | uint64(uint32(s.Slots)))
+	}
+	return uint64(h)
+}
+
+// JobShape computes the Shape of job as the admission path sees it; ok is
+// false if any task record is missing (job completed concurrently).
+func JobShape(cl *cluster.Cluster, job *cluster.Job, sig uint64, wait int64) (Shape, bool) {
+	h := NewHash()
+	for _, tid := range job.Tasks {
+		t := cl.Task(tid)
+		if t == nil {
+			return Shape{}, false
+		}
+		h = h.I64(int64(t.Duration)).I64(t.InputFile).I64(t.InputSize).I64(t.NetDemand)
+	}
+	return Shape{
+		Sig:      sig,
+		Class:    uint8(job.Class),
+		Priority: int64(job.Priority),
+		Wait:     wait,
+		NTasks:   int32(len(job.Tasks)),
+		Specs:    uint64(h),
+	}, true
+}
+
+// GatherProfile appends the sorted (running, slots) occupancy profile of
+// every healthy machine to buf and returns it. Sorting makes the profile a
+// multiset: two cluster states that are occupancy-permutations of each
+// other fingerprint identically, which is exactly the equivalence class a
+// level-priced policy cannot distinguish.
+func GatherProfile(cl *cluster.Cluster, buf []Slot) []Slot {
+	buf = buf[:0]
+	cl.Machines(func(m *cluster.Machine) {
+		if !m.Healthy() {
+			return
+		}
+		buf = append(buf, Slot{Running: int32(m.Running()), Slots: int32(m.Slots)})
+	})
+	sortSlots(buf)
+	return buf
+}
+
+// SortProfile orders a profile by (Running, Slots) — the canonical
+// multiset order GatherProfile produces. Callers that build profiles from
+// simulated occupancy (the recording path) sort with it.
+func SortProfile(s []Slot) { sortSlots(s) }
+
+// sortSlots orders by (Running, Slots). Profiles are small and nearly
+// sorted round over round; insertion sort avoids sort.Slice's closure
+// allocation on the hit path.
+func sortSlots(s []Slot) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && slotLess(s[k], s[k-1]); k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}
+
+func slotLess(a, b Slot) bool {
+	if a.Running != b.Running {
+		return a.Running < b.Running
+	}
+	return a.Slots < b.Slots
+}
+
+// Assignment is one task's cached placement: the destination machine and
+// the occupancy level the machine had when the task landed (the level the
+// policy priced the placement at).
+type Assignment struct {
+	Machine cluster.MachineID
+	Level   int32
+}
+
+// Template is one cached placement sub-structure: the exact shape and
+// profile it was recorded under (Matches re-checks them — the fingerprint
+// alone is never trusted) and the per-task assignment, indexed like the
+// job's Tasks slice.
+type Template struct {
+	FP      uint64
+	Shape   Shape
+	Profile []Slot
+	Assign  []Assignment
+}
+
+// Matches reports whether the template was recorded under exactly this
+// shape and profile. A fingerprint hit with a Matches failure is a hash
+// collision between distinguishable states; callers treat it as a miss.
+func (t *Template) Matches(sh Shape, profile []Slot) bool {
+	if t.Shape != sh || len(t.Profile) != len(profile) {
+		return false
+	}
+	for i, s := range profile {
+		if t.Profile[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate is the O(tasks) feasibility check of a cache hit: every
+// destination machine must exist, be healthy, and sit at exactly the
+// recorded occupancy level (live occupancy plus this template's own
+// earlier tasks) with a free slot. Level equality — not mere capacity — is
+// what carries optimality: combined with the profile match it pins the
+// committed placements to the same occupancy-level multiset the recorded
+// optimum used, so the realized cost equals the recorded optimal cost.
+// Validate mutates nothing; the caller commits only after it returns true.
+func (t *Template) Validate(view func(m cluster.MachineID) (running, slots int, healthy bool)) bool {
+	var extra map[cluster.MachineID]int32
+	for _, as := range t.Assign {
+		running, slots, healthy := view(as.Machine)
+		if !healthy {
+			return false
+		}
+		level := int32(running) + extra[as.Machine]
+		if level != as.Level || int(level) >= slots {
+			return false
+		}
+		if extra == nil {
+			extra = make(map[cluster.MachineID]int32, len(t.Assign))
+		}
+		extra[as.Machine]++
+	}
+	return true
+}
+
+// Uses reports whether the template places any task on machine m.
+func (t *Template) Uses(m cluster.MachineID) bool {
+	for _, as := range t.Assign {
+		if as.Machine == m {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultCapacity is the cache capacity NewCache uses for capacity <= 0.
+const DefaultCapacity = 1024
+
+// Cache is a fingerprint-keyed template store with deterministic FIFO
+// eviction. It is not safe for concurrent use; the service confines it to
+// the scheduling goroutine.
+type Cache struct {
+	capacity int
+	entries  map[uint64]*Template
+	fifo     []uint64 // live fingerprints in insertion order
+}
+
+// NewCache returns an empty cache.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{capacity: capacity, entries: make(map[uint64]*Template)}
+}
+
+// Len returns the number of cached templates.
+func (c *Cache) Len() int { return len(c.fifo) }
+
+// Lookup returns the template under fp, or nil.
+func (c *Cache) Lookup(fp uint64) *Template { return c.entries[fp] }
+
+// Insert stores t under t.FP, evicting the oldest entry when full. An
+// existing entry under the same fingerprint is replaced (and moves to the
+// FIFO tail).
+func (c *Cache) Insert(t *Template) {
+	c.Drop(t.FP)
+	if len(c.fifo) >= c.capacity {
+		c.Drop(c.fifo[0])
+	}
+	c.entries[t.FP] = t
+	c.fifo = append(c.fifo, t.FP)
+}
+
+// Drop removes the entry under fp, reporting whether one existed.
+func (c *Cache) Drop(fp uint64) bool {
+	if _, ok := c.entries[fp]; !ok {
+		return false
+	}
+	delete(c.entries, fp)
+	for i, f := range c.fifo {
+		if f == fp {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// InvalidateMachine drops every template that places a task on m,
+// appending the dropped fingerprints to drops (for journaling) and
+// returning it. Machine removal changes what the recorded assignments
+// mean, so affected templates are invalidated eagerly rather than left to
+// fail validation one by one.
+func (c *Cache) InvalidateMachine(m cluster.MachineID, drops []uint64) []uint64 {
+	start := len(drops)
+	for _, fp := range c.fifo {
+		if c.entries[fp].Uses(m) {
+			drops = append(drops, fp)
+		}
+	}
+	for _, fp := range drops[start:] {
+		c.Drop(fp)
+	}
+	return drops
+}
+
+// Range calls fn for every template in FIFO order.
+func (c *Cache) Range(fn func(*Template)) {
+	for _, fp := range c.fifo {
+		fn(c.entries[fp])
+	}
+}
+
+// Fingerprint hashes the cache's full contents in FIFO order; the
+// crash-recovery equivalence tests compare a restored cache against the
+// uninterrupted twin's with it.
+func (c *Cache) Fingerprint() uint64 {
+	h := NewHash().I64(int64(len(c.fifo)))
+	for _, fp := range c.fifo {
+		t := c.entries[fp]
+		h = t.Shape.hash(h.U64(t.FP)).I64(int64(len(t.Profile)))
+		for _, s := range t.Profile {
+			h = h.U64(uint64(uint32(s.Running))<<32 | uint64(uint32(s.Slots)))
+		}
+		h = h.I64(int64(len(t.Assign)))
+		for _, as := range t.Assign {
+			h = h.I64(int64(as.Machine)).I64(int64(as.Level))
+		}
+	}
+	return uint64(h)
+}
+
+// ---- codec (WAL round records and snapshots) ----
+
+// EncodeTemplate appends t's wire image.
+func EncodeTemplate(e *wal.Enc, t *Template) {
+	e.U64(t.FP)
+	e.U64(t.Shape.Sig)
+	e.U8(t.Shape.Class)
+	e.I64(t.Shape.Priority)
+	e.I64(t.Shape.Wait)
+	e.I64(int64(t.Shape.NTasks))
+	e.U64(t.Shape.Specs)
+	e.U32(uint32(len(t.Profile)))
+	for _, s := range t.Profile {
+		e.U32(uint32(s.Running))
+		e.U32(uint32(s.Slots))
+	}
+	e.U32(uint32(len(t.Assign)))
+	for _, as := range t.Assign {
+		e.I64(int64(as.Machine))
+		e.U32(uint32(as.Level))
+	}
+}
+
+// DecodeTemplate reads one template; check d.Err afterwards.
+func DecodeTemplate(d *wal.Dec) *Template {
+	t := &Template{}
+	t.FP = d.U64()
+	t.Shape.Sig = d.U64()
+	t.Shape.Class = d.U8()
+	t.Shape.Priority = d.I64()
+	t.Shape.Wait = d.I64()
+	t.Shape.NTasks = int32(d.I64())
+	t.Shape.Specs = d.U64()
+	np := d.Len(8)
+	t.Profile = make([]Slot, 0, np)
+	for i := 0; i < np; i++ {
+		t.Profile = append(t.Profile, Slot{Running: int32(d.U32()), Slots: int32(d.U32())})
+	}
+	na := d.Len(12)
+	t.Assign = make([]Assignment, 0, na)
+	for i := 0; i < na; i++ {
+		t.Assign = append(t.Assign, Assignment{Machine: cluster.MachineID(d.I64()), Level: int32(d.U32())})
+	}
+	return t
+}
+
+// Encode appends the cache contents (entries in FIFO order).
+func (c *Cache) Encode(e *wal.Enc) {
+	e.U32(uint32(len(c.fifo)))
+	c.Range(func(t *Template) { EncodeTemplate(e, t) })
+}
+
+// DecodeInto replaces the cache's contents with a previously encoded
+// image; check d.Err afterwards. Entries re-insert through Insert, so a
+// capacity smaller than the encoded count evicts deterministically.
+func (c *Cache) DecodeInto(d *wal.Dec) {
+	c.entries = make(map[uint64]*Template)
+	c.fifo = c.fifo[:0]
+	n := d.Len(49)
+	for i := 0; i < n; i++ {
+		c.Insert(DecodeTemplate(d))
+	}
+}

@@ -1,0 +1,249 @@
+package template
+
+import (
+	"testing"
+
+	"firmament/internal/cluster"
+	"firmament/internal/wal"
+)
+
+func testShape() Shape {
+	return Shape{Sig: 0xdead, Class: 1, Priority: 3, Wait: 2, NTasks: 4, Specs: 0xbeef}
+}
+
+func testProfile() []Slot {
+	return []Slot{{0, 4}, {1, 4}, {2, 8}}
+}
+
+// TestFingerprintSensitivity: every policy-visible field of the shape and
+// every profile entry must perturb the fingerprint — a template recorded
+// under one state must not index a distinguishable one.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(testShape(), testProfile())
+
+	mutations := map[string]func() uint64{
+		"sig": func() uint64 {
+			sh := testShape()
+			sh.Sig++
+			return Fingerprint(sh, testProfile())
+		},
+		"class": func() uint64 {
+			sh := testShape()
+			sh.Class++
+			return Fingerprint(sh, testProfile())
+		},
+		"priority": func() uint64 {
+			sh := testShape()
+			sh.Priority++
+			return Fingerprint(sh, testProfile())
+		},
+		"wait": func() uint64 {
+			sh := testShape()
+			sh.Wait++
+			return Fingerprint(sh, testProfile())
+		},
+		"ntasks": func() uint64 {
+			sh := testShape()
+			sh.NTasks++
+			return Fingerprint(sh, testProfile())
+		},
+		"specs": func() uint64 {
+			sh := testShape()
+			sh.Specs++
+			return Fingerprint(sh, testProfile())
+		},
+		"profile-running": func() uint64 {
+			p := testProfile()
+			p[1].Running++
+			SortProfile(p)
+			return Fingerprint(testShape(), p)
+		},
+		"profile-slots": func() uint64 {
+			p := testProfile()
+			p[2].Slots++
+			return Fingerprint(testShape(), p)
+		},
+		"profile-len": func() uint64 {
+			return Fingerprint(testShape(), testProfile()[:2])
+		},
+	}
+	for name, fn := range mutations {
+		if got := fn(); got == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+
+	// Permutation invariance: the profile is a multiset, so a pre-sort
+	// permutation of machine order must not matter.
+	p := []Slot{{2, 8}, {0, 4}, {1, 4}}
+	SortProfile(p)
+	if got := Fingerprint(testShape(), p); got != base {
+		t.Errorf("sorted permutation changed the fingerprint: %x != %x", got, base)
+	}
+}
+
+func mkTemplate(fp uint64, machines ...cluster.MachineID) *Template {
+	tt := &Template{FP: fp, Shape: testShape(), Profile: testProfile()}
+	for i, m := range machines {
+		tt.Assign = append(tt.Assign, Assignment{Machine: m, Level: int32(i)})
+	}
+	return tt
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(mkTemplate(1, 10))
+	c.Insert(mkTemplate(2, 11))
+	c.Insert(mkTemplate(3, 12)) // evicts 1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Lookup(1) != nil {
+		t.Fatal("oldest entry not evicted")
+	}
+	if c.Lookup(2) == nil || c.Lookup(3) == nil {
+		t.Fatal("younger entries lost")
+	}
+
+	// Re-inserting an existing fingerprint replaces it and moves it to the
+	// FIFO tail: the next eviction must take 3, not 2.
+	c.Insert(mkTemplate(2, 20))
+	c.Insert(mkTemplate(4, 13))
+	if c.Lookup(3) != nil {
+		t.Fatal("refreshed entry should have outlived entry 3")
+	}
+	if got := c.Lookup(2); got == nil || got.Assign[0].Machine != 20 {
+		t.Fatal("re-insert did not replace the entry")
+	}
+}
+
+func TestCacheDropAndInvalidateMachine(t *testing.T) {
+	c := NewCache(8)
+	c.Insert(mkTemplate(1, 10, 11))
+	c.Insert(mkTemplate(2, 12))
+	c.Insert(mkTemplate(3, 11, 12))
+
+	if !c.Drop(2) || c.Drop(2) {
+		t.Fatal("Drop must report presence exactly once")
+	}
+
+	// Invalidating machine 11 drops templates 1 and 3; the pre-existing
+	// drops prefix must be preserved (the service accumulates across
+	// multiple machine removals in one round).
+	drops := []uint64{99}
+	drops = c.InvalidateMachine(11, drops)
+	if len(drops) != 3 || drops[0] != 99 {
+		t.Fatalf("drops = %v, want [99 1 3]", drops)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after invalidation, want 0", c.Len())
+	}
+}
+
+func TestValidateRejectsStaleState(t *testing.T) {
+	// Template: two tasks on machine 5 at levels 1 and 2, one on machine 6
+	// at level 0.
+	tt := &Template{FP: 1, Shape: testShape(), Assign: []Assignment{
+		{Machine: 5, Level: 1}, {Machine: 5, Level: 2}, {Machine: 6, Level: 0},
+	}}
+	view := func(running5, slots5 int, healthy5 bool, running6 int) func(cluster.MachineID) (int, int, bool) {
+		return func(m cluster.MachineID) (int, int, bool) {
+			switch m {
+			case 5:
+				return running5, slots5, healthy5
+			case 6:
+				return running6, 4, true
+			}
+			return 0, 0, false
+		}
+	}
+
+	if !tt.Validate(view(1, 4, true, 0)) {
+		t.Fatal("exact recorded state must validate")
+	}
+	if tt.Validate(view(0, 4, true, 0)) {
+		t.Fatal("lower occupancy than recorded must fail (cost would differ)")
+	}
+	if tt.Validate(view(2, 4, true, 0)) {
+		t.Fatal("higher occupancy than recorded must fail")
+	}
+	if !tt.Validate(view(1, 3, true, 0)) {
+		t.Fatal("level 2 with 3 slots occupies the last slot; still feasible")
+	}
+	if tt.Validate(view(1, 2, true, 0)) {
+		t.Fatal("level 2 with 2 slots exceeds capacity; must fail")
+	}
+	if tt.Validate(view(1, 4, false, 0)) {
+		t.Fatal("unhealthy machine must fail")
+	}
+	if tt.Validate(view(1, 4, true, 1)) {
+		t.Fatal("second machine's occupancy shift must fail")
+	}
+	if (&Template{FP: 1, Assign: []Assignment{{Machine: 7, Level: 0}}}).Validate(view(0, 0, true, 0)) {
+		t.Fatal("unknown machine must fail")
+	}
+}
+
+func TestMatchesExact(t *testing.T) {
+	tt := mkTemplate(1, 10)
+	if !tt.Matches(testShape(), testProfile()) {
+		t.Fatal("identical shape+profile must match")
+	}
+	sh := testShape()
+	sh.Specs++
+	if tt.Matches(sh, testProfile()) {
+		t.Fatal("different shape must not match (hash-collision guard)")
+	}
+	p := testProfile()
+	p[0].Running++
+	if tt.Matches(testShape(), p) {
+		t.Fatal("different profile must not match")
+	}
+	if tt.Matches(testShape(), testProfile()[:2]) {
+		t.Fatal("shorter profile must not match")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewCache(8)
+	c.Insert(mkTemplate(7, 1, 2, 1))
+	c.Insert(mkTemplate(9, 3))
+
+	var e wal.Enc
+	c.Encode(&e)
+
+	c2 := NewCache(8)
+	d := wal.NewDec(e.B)
+	c2.DecodeInto(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("Len = %d, want %d", c2.Len(), c.Len())
+	}
+	if c2.Fingerprint() != c.Fingerprint() {
+		t.Fatal("cache fingerprint changed across codec round trip")
+	}
+
+	// Decoding into a smaller cache must evict deterministically (FIFO).
+	c3 := NewCache(1)
+	d = wal.NewDec(e.B)
+	c3.DecodeInto(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode into small cache: %v", err)
+	}
+	if c3.Len() != 1 || c3.Lookup(9) == nil {
+		t.Fatal("shrunk cache must keep the newest entry")
+	}
+
+	// Truncated input must surface an error, not panic.
+	d = wal.NewDec(e.B[:len(e.B)-3])
+	c4 := NewCache(8)
+	c4.DecodeInto(d)
+	if d.Err() == nil {
+		t.Fatal("truncated cache image must fail to decode")
+	}
+}

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # crash_smoke.sh — end-to-end crash-recovery smoke for the durable journal.
 #
-# Serves the HTTP front door with -wal-dir, drives load over the network,
-# SIGKILLs the server mid-run (no warning, no snapshot), restarts it over
-# the same journal directory, and asserts from /v1/stats that:
+# Serves the HTTP front door with -wal-dir and the template fast path on,
+# drives load over the network, SIGKILLs the server mid-run (no warning, no
+# snapshot), restarts it over the same journal directory, and asserts from
+# /v1/stats that:
 #
 #   1. the restart recovered the acknowledged state — running tasks > 0
 #      (nothing acknowledged was lost to the kill), and
 #   2. the post-restore rounds warm-start — solver_full_restarts == 0
 #      after the restored service schedules new work (the restored flow
-#      network carried its flow and potentials across the crash).
+#      network carried its flow and potentials across the crash), and
+#   3. the template fast path survives the crash — template_hits > 0
+#      before the kill, at least that many after the restart (the counters
+#      and cache ride the journal), and still growing once the restored
+#      service serves fresh recurring load.
 #
 # Usage: scripts/crash_smoke.sh [port]
 set -euo pipefail
@@ -29,13 +34,20 @@ stat() {
 }
 
 echo "== start durable server (wal: $wal)"
-"$bin" -listen "127.0.0.1:${port}" -mode inc-cost-scaling -wal-dir "$wal" &
+"$bin" -listen "127.0.0.1:${port}" -mode inc-cost-scaling -wal-dir "$wal" -templates &
 SERVER=$!
 
 echo "== drive load over the network"
 "$bin" -remote "$base" -submitters 8 -duration 3s -per-submitter=false &
 DRIVER=$!
 sleep 2  # kill mid-run: submissions acknowledged, tasks running, rounds live
+
+pre_hits="$(stat template_hits)"
+echo "pre-kill: template_hits=$pre_hits"
+if [ -z "$pre_hits" ] || [ "$pre_hits" -le 0 ]; then
+    echo "FAIL: no template hits before the kill — the fast path never engaged" >&2
+    exit 1
+fi
 
 echo "== SIGKILL the server mid-round"
 kill -9 "$SERVER"
@@ -46,7 +58,7 @@ kill "$DRIVER" 2>/dev/null || true
 wait "$DRIVER" 2>/dev/null || true
 
 echo "== restart over the same journal"
-"$bin" -listen "127.0.0.1:${port}" -mode inc-cost-scaling -wal-dir "$wal" &
+"$bin" -listen "127.0.0.1:${port}" -mode inc-cost-scaling -wal-dir "$wal" -templates &
 SERVER=$!
 for _ in $(seq 1 100); do
     curl -sf "$base/v1/stats" >/dev/null 2>&1 && break
@@ -60,9 +72,17 @@ if [ -z "$running" ] || [ "$running" -le 0 ]; then
     echo "FAIL: restart recovered zero running tasks — acknowledged work was lost" >&2
     exit 1
 fi
+rec_hits="$(stat template_hits)"
+echo "recovered: template_hits=$rec_hits (pre-kill $pre_hits)"
+if [ -z "$rec_hits" ] || [ "$rec_hits" -lt "$pre_hits" ]; then
+    echo "FAIL: template hit counter went backwards across the restart" >&2
+    exit 1
+fi
 
 echo "== schedule new work on the restored service"
-"$bin" -remote "$base" -submitters 4 -duration 2s -per-submitter=false
+# The driver runs with -templates too: it exits non-zero itself if the
+# restored service serves it zero template hits.
+"$bin" -remote "$base" -submitters 4 -duration 2s -per-submitter=false -templates
 
 full="$(stat solver_full_restarts)"
 warm="$(stat solver_warm_starts)"
@@ -75,10 +95,16 @@ if [ -z "$warm" ] || [ "$warm" -le 0 ]; then
     echo "FAIL: restored service recorded no warm starts" >&2
     exit 1
 fi
+post_hits="$(stat template_hits)"
+echo "templates after restore: hits=$post_hits misses=$(stat template_misses) invalidations=$(stat template_invalidations)"
+if [ -z "$post_hits" ] || [ "$post_hits" -le "$rec_hits" ]; then
+    echo "FAIL: restored service served no new template hits" >&2
+    exit 1
+fi
 
 echo "== replay the journal offline"
 kill -TERM "$SERVER"
 wait "$SERVER" 2>/dev/null || true
-"$bin" -replay "$wal" -mode inc-cost-scaling
+"$bin" -replay "$wal" -mode inc-cost-scaling -templates
 
 echo "PASS: crash recovery smoke"
