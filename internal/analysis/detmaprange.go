@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange flags `for ... range` over a map inside determinism-critical
+// code. Go randomizes map iteration order per run, so a map range in a
+// snapshot encoder, WAL record constructor, fingerprint or replay path
+// produces byte-different output for identical state — breaking the
+// bit-stable snapshot and deterministic-replay contracts (docs/durability.md)
+// on some runs and not others.
+//
+// Scope: every function in internal/wal and internal/template, plus any
+// function annotated //firmament:deterministic.
+//
+// Two loop shapes are recognized as safe and not reported:
+//
+//   - key collection: a loop whose whole body appends the key (or value)
+//     to a slice, the first half of the collect-then-sort idiom the
+//     codecs use;
+//   - map clearing: a loop whose whole body is delete(m, k) on the ranged
+//     map.
+//
+// Anything else over a map must sort first or carry a
+// //firmament:ignore detmaprange waiver arguing order-insensitivity.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc:  "flags nondeterministic map iteration in codec/fingerprint/replay code",
+	Run:  runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		if !pass.InDeterministicScope(fn) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectOrClearLoop(rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "iteration over map is nondeterministic in deterministic scope; collect the keys and sort them first")
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectOrClearLoop reports whether every statement of the range body
+// is either `s = append(s, k)` collecting the iteration variables or
+// `delete(m, k)` clearing the ranged map.
+func isCollectOrClearLoop(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !isKeyAppend(rs, s) {
+				return false
+			}
+		case *ast.ExprStmt:
+			if !isRangedDelete(rs, s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isKeyAppend matches `dst = append(dst, v)` where v is one of the
+// iteration variables (or a selector/index rooted at one).
+func isKeyAppend(rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if !rootedAtIterationVar(rs, arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// isRangedDelete matches `delete(m, k)` where m is the ranged expression
+// and k the key variable.
+func isRangedDelete(rs *ast.RangeStmt, s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "delete" {
+		return false
+	}
+	return sameIdentPath(call.Args[0], rs.X) && rootedAtIterationVar(rs, call.Args[1])
+}
+
+// rootedAtIterationVar reports whether expr is (or derives from, through
+// selectors/indexes/conversions) the loop's key or value variable.
+func rootedAtIterationVar(rs *ast.RangeStmt, expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return matchesIterVar(rs.Key, e) || matchesIterVar(rs.Value, e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.CallExpr: // conversion like uint64(k)
+			if len(e.Args) != 1 {
+				return false
+			}
+			expr = e.Args[0]
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+func matchesIterVar(v ast.Expr, id *ast.Ident) bool {
+	vid, ok := v.(*ast.Ident)
+	return ok && vid.Name != "_" && vid.Name == id.Name
+}
+
+// sameIdentPath reports whether two expressions are the same dotted
+// identifier path (a.b.c), the only shape the ranged-map comparison needs.
+func sameIdentPath(a, b ast.Expr) bool {
+	for {
+		switch ea := a.(type) {
+		case *ast.Ident:
+			eb, ok := b.(*ast.Ident)
+			return ok && ea.Name == eb.Name
+		case *ast.SelectorExpr:
+			eb, ok := b.(*ast.SelectorExpr)
+			if !ok || ea.Sel.Name != eb.Sel.Name {
+				return false
+			}
+			a, b = ea.X, eb.X
+		default:
+			return false
+		}
+	}
+}

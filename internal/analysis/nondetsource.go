@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDetSource forbids wall-clock and PRNG reads in determinism-critical
+// code. A time.Now() or math/rand draw that flows into a journaled record,
+// a snapshot encoding, or a fingerprint makes replay produce different
+// bytes than the original run — the crash-equivalence property then holds
+// only for executions that never consulted the clock. Timing *stats*
+// (latency histograms, round metrics) are fine precisely because they sit
+// outside the deterministic scope.
+//
+// Scope matches detmaprange: all of internal/wal and internal/template,
+// plus //firmament:deterministic functions.
+var NonDetSource = &Analyzer{
+	Name: "nondetsource",
+	Doc:  "forbids time.Now/math/rand in journaled or fingerprinted code",
+	Run:  runNonDetSource,
+}
+
+// nondetFuncs maps forbidden package-level functions, keyed by package
+// path then name. An empty name set forbids the whole package.
+var nondetFuncs = map[string]map[string]bool{
+	"time": {
+		"Now":   true,
+		"Since": true,
+		"Until": true,
+	},
+	"math/rand":    nil, // every function draws from the global source
+	"math/rand/v2": nil,
+	"crypto/rand":  nil,
+}
+
+func runNonDetSource(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		if !pass.InDeterministicScope(fn) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkgPath := obj.Pkg().Path()
+			names, forbidden := nondetFuncs[pkgPath]
+			if !forbidden {
+				// Methods on rand.Rand etc. resolve to the package too;
+				// nothing else to check.
+				return true
+			}
+			if names != nil && !names[obj.Name()] {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s is a nondeterministic source; deterministic code must take times/randomness as explicit inputs", pkgPath, obj.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises detmaprange: map iteration in deterministic
+// scope. Loaded under the synthetic path "fixture/detmaprange", so scope
+// here is annotation opt-in only.
+package fixture
+
+import "slices"
+
+//firmament:deterministic
+func encodeBad(m map[int]int) int {
+	s := 0
+	for k, v := range m { // want `iteration over map is nondeterministic`
+		s += k + v
+	}
+	return s
+}
+
+//firmament:deterministic
+func encodeCollectSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+//firmament:deterministic
+func clearAll(m map[int]int) {
+	for k := range m { // delete-only: allowed
+		delete(m, k)
+	}
+}
+
+// unannotated is outside the deterministic scope: same loop, no finding.
+func unannotated(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+//firmament:deterministic
+func waived(m map[int]int) int {
+	s := 0
+	//firmament:ignore detmaprange fixture: summation is order-insensitive
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+//firmament:deterministic
+func sliceRange(s []int) int { // ranging a slice is deterministic
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

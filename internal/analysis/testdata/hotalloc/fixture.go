@@ -1,0 +1,100 @@
+// Package fixture exercises hotalloc: allocating constructs inside
+// //firmament:hotpath functions. Loaded under "fixture/hotalloc".
+package fixture
+
+import "fmt"
+
+type big struct{ a, b int }
+
+func takeIface(v interface{}) {}
+
+func takePtr(v *big) {}
+
+//firmament:hotpath
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+}
+
+//firmament:hotpath
+func boxing(n int, p *big) {
+	takeIface(n) // want `boxes it on the hot path`
+	takeIface(p) // pointers are pointer-shaped: no boxing
+	takePtr(p)   // concrete parameter: no interface involved
+}
+
+//firmament:hotpath
+func converts(n int) interface{} {
+	return interface{}(n) // want `conversion to interface boxes`
+}
+
+//firmament:hotpath
+func capture() func() int {
+	x := 0
+	f := func() int { return x } // want `closure captures "x"`
+	return f
+}
+
+//firmament:hotpath
+func pureLit() func() int {
+	return func() int { return 42 } // captures nothing: static func value
+}
+
+//firmament:hotpath
+func makes() {
+	m := make(map[int]int) // want `make\(map\) allocates`
+	s := make([]int, 8)    // want `make\(slice\) allocates`
+	_, _ = m, s
+}
+
+//firmament:hotpath
+func literals() {
+	_ = []int{1, 2}       // want `slice literal allocates`
+	_ = map[int]int{1: 2} // want `map literal allocates`
+}
+
+//firmament:hotpath
+func escapes() *big {
+	return &big{} // want `&T\{\} escapes`
+}
+
+//firmament:hotpath
+func newT() *int {
+	return new(int) // want `new\(T\) allocates`
+}
+
+//firmament:hotpath
+func appendNil() []int {
+	var s []int
+	for i := 0; i < 4; i++ {
+		s = append(s, i) // want `append to nil-declared slice "s"`
+	}
+	return s
+}
+
+//firmament:hotpath
+func appendCapped(in []int) []int {
+	out := make([]int, 0, len(in)) // want `make\(slice\) allocates`
+	for _, v := range in {
+		out = append(out, v) // not nil-declared: no extra finding
+	}
+	return out
+}
+
+//firmament:hotpath
+func coldPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n)) // panic args are off the hot path
+	}
+}
+
+//firmament:hotpath
+func waived() map[int]int {
+	//firmament:ignore hotalloc fixture: documented result allocation
+	return make(map[int]int)
+}
+
+// notHot is unannotated: the same constructs produce no findings.
+func notHot() {
+	_ = make(map[int]int)
+	_ = fmt.Sprintf("x")
+}

@@ -1,0 +1,89 @@
+// Package fixture exercises lockorder. Loaded under "fixture/cluster", so
+// the whole package is in scope, like the real internal/cluster.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+type table struct {
+	machMu sync.RWMutex
+	syncMu sync.Mutex
+	ch     chan int
+}
+
+type file struct{}
+
+func (file) Sync() error { return nil }
+
+func badOrder(t *table, sh *shard) {
+	t.machMu.Lock()
+	sh.mu.Lock() // want `lock order is shard → machine`
+	sh.mu.Unlock()
+	t.machMu.Unlock()
+}
+
+func goodOrder(t *table, sh *shard) {
+	sh.mu.Lock()
+	t.machMu.RLock() // shard → machine: the documented order
+	t.machMu.RUnlock()
+	sh.mu.Unlock()
+}
+
+func doubleShard(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `ascending shard order`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func oneAtATime(a, b *shard) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock() // previous shard lock released: allowed
+	b.mu.Unlock()
+}
+
+func blockingSend(t *table, sh *shard) {
+	sh.mu.Lock()
+	t.ch <- 1 // want `blocking channel send while holding sh\.mu`
+	sh.mu.Unlock()
+}
+
+func nonBlockingSend(t *table, sh *shard) {
+	sh.mu.Lock()
+	select {
+	case t.ch <- 1: // select with default is non-blocking: allowed
+	default:
+	}
+	sh.mu.Unlock()
+}
+
+func sendAfterUnlock(t *table, sh *shard) {
+	sh.mu.Lock()
+	sh.vals = append(sh.vals, 1)
+	sh.mu.Unlock()
+	t.ch <- 1 // lock released: allowed
+}
+
+func fsyncUnderLock(f file, sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return f.Sync() // want `fsync \(Sync\) while holding sh\.mu`
+}
+
+func fsyncUnderSyncMu(f file, t *table) error {
+	t.syncMu.Lock()
+	defer t.syncMu.Unlock()
+	return f.Sync() // syncMu is the group-commit coordinator: exempt
+}
+
+func waivedFsync(f file, sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	//firmament:ignore lockorder fixture: one-shot teardown, contention impossible
+	return f.Sync()
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises nondetsource. Loaded under the synthetic path
+// "fixture/wal", so the whole package is in the deterministic scope —
+// exactly like the real internal/wal.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now is a nondeterministic source`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since is a nondeterministic source`
+}
+
+func draw() int64 {
+	return rand.Int63() // want `math/rand\.Int63 is a nondeterministic source`
+}
+
+// explicitTime takes the clock reading as an input — the deterministic way.
+func explicitTime(now, then time.Time) time.Duration {
+	return now.Sub(then)
+}
+
+func waived() int64 {
+	//firmament:ignore nondetsource fixture: value feeds a log line, never a record
+	return time.Now().Unix()
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises walorder. Loaded under "fixture/service", so
+// the journal-before-publish rules apply as in the real internal/service.
+package fixture
+
+type journal struct{}
+
+func (journal) appendSubmit(b []byte) (uint64, error) { return 0, nil }
+func (journal) appendIntent(b []byte) (uint64, error) { return 0, nil }
+
+type registry struct{}
+
+func (registry) SubmitJobWithID(id int64) {}
+
+type svc struct {
+	jrn journal
+	cl  registry
+}
+
+func (s *svc) publish(v int) {}
+
+func (s *svc) journalRound(round int64) error { return nil }
+
+func (s *svc) badRound(v int) {
+	s.publish(v) // want `publish to subscribers is not dominated by a journal append`
+}
+
+func (s *svc) goodRound(v int) {
+	_ = s.journalRound(1)
+	s.publish(v)
+}
+
+func (s *svc) badSubmit() {
+	s.cl.SubmitJobWithID(1) // want `before appendSubmit`
+}
+
+func (s *svc) goodSubmit(b []byte) {
+	_, _ = s.jrn.appendSubmit(b)
+	s.cl.SubmitJobWithID(1)
+}
+
+// intentOnlyDoesNotCoverSubmit: appendIntent satisfies the publish rule
+// but not the stricter register rule.
+func (s *svc) intentOnly(b []byte) {
+	_, _ = s.jrn.appendIntent(b)
+	s.publish(1)
+	s.cl.SubmitJobWithID(1) // want `before appendSubmit`
+}
+
+//firmament:journaled fixture: replay consumes the journal, writes re-derive durable records
+func (s *svc) replayLike(v int) {
+	s.cl.SubmitJobWithID(1)
+	s.publish(v)
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WALOrder enforces the journal-before-publish rule of internal/service
+// (docs/durability.md): anything externally observable — a publish to
+// Watch subscribers, or registering a submitted job in the cluster — must
+// be dominated by the corresponding WAL append, so a crash between the
+// two replays to a state at least as advanced as what any observer saw.
+//
+// Concretely, within internal/service:
+//
+//   - a call to publish(...) requires an earlier call (by source
+//     position, the walk's dominance approximation) to journalRound,
+//     appendSubmit, or appendIntent in the same function;
+//   - a call to SubmitJobWithID requires an earlier appendSubmit.
+//
+// Functions annotated //firmament:journaled are exempt: they *consume*
+// the journal (replay/restore), so their writes are re-derivations of
+// already-durable records, not new externally-observable state.
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc:  "requires WAL appends to dominate publishes and job registration in internal/service",
+	Run:  runWALOrder,
+}
+
+// journalAppends are the service methods that make a record durable.
+var journalAppends = map[string]bool{
+	"journalRound": true,
+	"appendSubmit": true,
+	"appendIntent": true,
+}
+
+func runWALOrder(pass *Pass) error {
+	if !pass.pkgPathEndsIn("service") {
+		return nil
+	}
+	for _, fn := range funcDecls(pass.Files) {
+		if pass.FuncHas(fn, "journaled") {
+			continue
+		}
+		checkWALOrderFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkWALOrderFunc(pass *Pass, fn *ast.FuncDecl) {
+	var (
+		firstAppend = token.Pos(0) // earliest journal append of any kind
+		firstSubmit = token.Pos(0) // earliest appendSubmit specifically
+	)
+	// First sweep: find the earliest journal appends.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeMethodName(call)
+		if !journalAppends[name] {
+			return true
+		}
+		if firstAppend == 0 || call.Pos() < firstAppend {
+			firstAppend = call.Pos()
+		}
+		if name == "appendSubmit" && (firstSubmit == 0 || call.Pos() < firstSubmit) {
+			firstSubmit = call.Pos()
+		}
+		return true
+	})
+	// Second sweep: every observable effect must come after an append.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeMethodName(call) {
+		case "publish":
+			if firstAppend == 0 || call.Pos() < firstAppend {
+				pass.Reportf(call.Pos(), "publish to subscribers is not dominated by a journal append (journal-before-publish); append the round record first or annotate the function //firmament:journaled")
+			}
+		case "SubmitJobWithID":
+			if firstSubmit == 0 || call.Pos() < firstSubmit {
+				pass.Reportf(call.Pos(), "job registered in the cluster before appendSubmit made it durable (journal-before-register)")
+			}
+		}
+		return true
+	})
+}
+
+// calleeMethodName returns the bare method/function name of a call's
+// selector callee ("s.publish(...)" → "publish"), or "" for other shapes.
+func calleeMethodName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}

@@ -3,7 +3,7 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 
 	"firmament/internal/wal"
 )
@@ -19,6 +19,8 @@ import (
 const snapVersion = 1
 
 // EncodeEvent appends the wire form of one cluster event.
+//
+//firmament:deterministic
 func EncodeEvent(e *wal.Enc, ev Event) {
 	e.U8(uint8(ev.Kind))
 	e.I64(int64(ev.Task))
@@ -27,6 +29,8 @@ func EncodeEvent(e *wal.Enc, ev Event) {
 }
 
 // DecodeEvent reads one event written by EncodeEvent.
+//
+//firmament:deterministic
 func DecodeEvent(d *wal.Dec) Event {
 	return Event{
 		Kind:    EventKind(d.U8()),
@@ -37,6 +41,8 @@ func DecodeEvent(d *wal.Dec) Event {
 }
 
 // EncodeSpec appends the wire form of one task spec.
+//
+//firmament:deterministic
 func EncodeSpec(e *wal.Enc, s TaskSpec) {
 	e.Dur(s.Duration)
 	e.I64(s.InputFile)
@@ -45,6 +51,8 @@ func EncodeSpec(e *wal.Enc, s TaskSpec) {
 }
 
 // DecodeSpec reads one spec written by EncodeSpec.
+//
+//firmament:deterministic
 func DecodeSpec(d *wal.Dec) TaskSpec {
 	return TaskSpec{
 		Duration:  d.Dur(),
@@ -54,6 +62,7 @@ func DecodeSpec(d *wal.Dec) TaskSpec {
 	}
 }
 
+//firmament:deterministic
 func encodeTask(e *wal.Enc, t *Task) {
 	e.I64(int64(t.ID))
 	e.Dur(t.Duration)
@@ -68,6 +77,7 @@ func encodeTask(e *wal.Enc, t *Task) {
 	e.I64(int64(t.Preemptions))
 }
 
+//firmament:deterministic
 func decodeTask(d *wal.Dec) *Task {
 	t := &Task{}
 	t.ID = TaskID(d.I64())
@@ -90,6 +100,8 @@ func decodeTask(d *wal.Dec) *Task {
 // guarantee quiescence (no concurrent mutators) — in the service this runs
 // on the scheduling goroutine between rounds. Iteration is in sorted ID
 // order throughout so identical state yields identical bytes.
+//
+//firmament:deterministic
 func (c *Cluster) EncodeSnapshot(e *wal.Enc) {
 	e.U32(snapVersion)
 	e.I64(int64(c.topo.Racks))
@@ -115,7 +127,7 @@ func (c *Cluster) EncodeSnapshot(e *wal.Enc) {
 		for id := range sh.jobs {
 			jobIDs = append(jobIDs, id)
 		}
-		sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i] < jobIDs[j] })
+		slices.Sort(jobIDs)
 		e.U32(uint32(len(jobIDs)))
 		for _, id := range jobIDs {
 			j := sh.jobs[id]
@@ -141,6 +153,8 @@ func (c *Cluster) EncodeSnapshot(e *wal.Enc) {
 }
 
 // DecodeSnapshot rebuilds a Cluster from EncodeSnapshot bytes.
+//
+//firmament:deterministic
 func DecodeSnapshot(d *wal.Dec) (*Cluster, error) {
 	if v := d.U32(); v != snapVersion {
 		return nil, fmt.Errorf("cluster: snapshot version %d (want %d)", v, snapVersion)
@@ -223,6 +237,8 @@ func DecodeSnapshot(d *wal.Dec) (*Cluster, error) {
 // identical state — tables, lifecycle fields, machine health, queued
 // events — produce identical fingerprints; the crash-recovery equivalence
 // tests compare a replayed cluster against the live one with this.
+//
+//firmament:deterministic
 func (c *Cluster) Fingerprint() uint64 {
 	var e wal.Enc
 	c.EncodeSnapshot(&e)
@@ -234,11 +250,21 @@ func (c *Cluster) Fingerprint() uint64 {
 // CountStates tallies tasks by lifecycle state across all shards — the
 // restore path's accounting self-check compares these totals against the
 // journal-derived counters.
+//
+//firmament:deterministic
 func (c *Cluster) CountStates() (pending, running, completed, failed int) {
 	for _, sh := range c.shards {
 		sh.mu.RLock()
-		for _, t := range sh.tasks {
-			switch t.State {
+		// Sorted-ID iteration: the tallies are order-insensitive today, but
+		// this walk sits in the deterministic scope and anything added to it
+		// (per-task detail, sampled dumps) must come out byte-stable.
+		ids := make([]TaskID, 0, len(sh.tasks))
+		for id := range sh.tasks {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		for _, id := range ids {
+			switch sh.tasks[id].State {
 			case TaskPending:
 				pending++
 			case TaskRunning:

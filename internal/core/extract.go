@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"firmament/internal/cluster"
 	"firmament/internal/flow"
@@ -12,6 +12,7 @@ import (
 // rounds (bounded by the machines' slot counts), so steady-state extraction
 // allocates only the result map it hands to the caller.
 type extractScratch struct {
+	mids      []cluster.MachineID // sorted machine IDs, refilled each round
 	tokens    [][]cluster.MachineID
 	remaining []int64 // per forward arc: unattributed flow
 	remSet    []bool  // remaining[i] initialized this round
@@ -58,6 +59,13 @@ func (ex *extractScratch) reset(nodeBound, arcBound int) {
 // come straight off the residual plane (the flow on a forward in-arc is
 // the residual of its reverse partner, which is exactly the adjacency-row
 // entry in hand), and nothing is hashed in the hot loop.
+//
+// The extraction order is deterministic (machines visited in sorted ID
+// order, LIFO token propagation) because the resulting placements feed the
+// journaled round record byte-for-byte.
+//
+//firmament:hotpath
+//firmament:deterministic
 func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID {
 	g := gm.g
 	// Extraction runs right after a solve, so the compact index is already
@@ -66,14 +74,15 @@ func (gm *GraphManager) ExtractPlacements() map[cluster.TaskID]cluster.MachineID
 	pl := g.ArcPlanes()
 	ex := &gm.ext
 	ex.reset(g.NodeIDBound(), g.ArcIDBound())
+	//firmament:ignore hotalloc the result map is the documented per-round allocation handed to the caller; everything else reuses scratch
 	mappings := make(map[cluster.TaskID]cluster.MachineID, gm.numTasks)
 
-	mids := make([]cluster.MachineID, 0, len(gm.machineNode))
+	ex.mids = ex.mids[:0]
 	for mid := range gm.machineNode {
-		mids = append(mids, mid)
+		ex.mids = append(ex.mids, mid)
 	}
-	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
-	for _, mid := range mids {
+	slices.Sort(ex.mids)
+	for _, mid := range ex.mids {
 		mnode := gm.machineNode[mid]
 		f := g.Flow(gm.machineSink[mid])
 		if f <= 0 {

@@ -22,26 +22,32 @@ import (
 
 const schedSnapVersion = 1
 
+//firmament:deterministic
 func encodeAggID(e *wal.Enc, id policy.AggID) {
 	e.U8(uint8(id.Kind))
 	e.I64(id.Index)
 }
 
+//firmament:deterministic
 func decodeAggID(d *wal.Dec) policy.AggID {
 	return policy.AggID{Kind: policy.AggKind(d.U8()), Index: d.I64()}
 }
 
+//firmament:deterministic
 func encodeTarget(e *wal.Enc, t policy.ArcTarget) {
 	e.I64(int64(t.Machine))
 	encodeAggID(e, t.Agg)
 }
 
+//firmament:deterministic
 func decodeTarget(d *wal.Dec) policy.ArcTarget {
 	return policy.ArcTarget{Machine: cluster.MachineID(d.I64()), Agg: decodeAggID(d)}
 }
 
 // EncodeSnapshot appends the scheduler's full solver state. The scheduler
 // must be quiescent (between rounds on the scheduling goroutine).
+//
+//firmament:deterministic
 func (s *Scheduler) EncodeSnapshot(e *wal.Enc) {
 	e.U32(schedSnapVersion)
 	s.gm.g.EncodeSnapshot(e)
@@ -147,6 +153,8 @@ func (s *Scheduler) EncodeSnapshot(e *wal.Enc) {
 // it to the (already restored) cluster and a freshly constructed policy
 // model. The model must be the same policy the snapshot was taken under:
 // the graph's aggregator nodes and arc costs encode its decisions.
+//
+//firmament:deterministic
 func RestoreScheduler(cl *cluster.Cluster, model policy.CostModel, cfg Config, d *wal.Dec) (*Scheduler, error) {
 	if v := d.U32(); v != schedSnapVersion {
 		return nil, fmt.Errorf("core: scheduler snapshot version %d (want %d)", v, schedSnapVersion)
@@ -250,6 +258,8 @@ func RestoreScheduler(cl *cluster.Cluster, model policy.CostModel, cfg Config, d
 // Fingerprint hashes the scheduler's solver state (graph plus maps) via the
 // snapshot encoding; the crash-recovery equivalence tests compare a
 // restored-and-replayed scheduler against the uninterrupted one with this.
+//
+//firmament:deterministic
 func (s *Scheduler) Fingerprint() uint64 {
 	var e wal.Enc
 	s.EncodeSnapshot(&e)

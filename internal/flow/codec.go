@@ -19,6 +19,8 @@ import (
 const graphSnapVersion = 1
 
 // EncodeSnapshot appends the full graph state. The graph must be quiescent.
+//
+//firmament:deterministic
 func (g *Graph) EncodeSnapshot(e *wal.Enc) {
 	e.U32(graphSnapVersion)
 	e.U32(uint32(len(g.nodes)))
@@ -55,6 +57,8 @@ func (g *Graph) EncodeSnapshot(e *wal.Enc) {
 // adjacency index is left unbuilt; the first Adjacency() call reconstructs
 // it from the (restored) linked lists, producing the same row contents the
 // live graph had.
+//
+//firmament:deterministic
 func DecodeSnapshot(d *wal.Dec) (*Graph, error) {
 	if v := d.U32(); v != graphSnapVersion {
 		return nil, fmt.Errorf("flow: graph snapshot version %d (want %d)", v, graphSnapVersion)
@@ -119,6 +123,8 @@ func DecodeSnapshot(d *wal.Dec) (*Graph, error) {
 // (supply, potential, kind), live arcs (endpoints, cost, capacity, flow),
 // and the free lists (which determine future ID assignment). Equal
 // fingerprints mean a solver run on either graph proceeds identically.
+//
+//firmament:deterministic
 func (g *Graph) Fingerprint() uint64 {
 	var e wal.Enc
 	g.EncodeSnapshot(&e)

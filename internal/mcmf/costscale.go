@@ -177,6 +177,8 @@ func (c *CostScaling) run(g *flow.Graph, eps int64, start time.Time, opts *Optio
 // discharges nodes with positive excess via FIFO push-relabel, where an arc
 // is admissible if its scaled reduced cost is negative and relabeling
 // raises a node's potential just enough to create an admissible arc.
+//
+//firmament:hotpath
 func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 	bound := g.NodeIDBound()
 	pl := g.ArcPlanes()
@@ -255,6 +257,7 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 				c.cur[u] = 0
 				c.relabels[u]++
 				if c.relabels[u] > relabelLimit {
+					//firmament:ignore hotalloc infeasibility bailout: fires at most once per solve, never in steady state
 					return fmt.Errorf("mcmf: cost scaling relabeled node %d more than %d times: %w",
 						u, relabelLimit, ErrInfeasible)
 				}
@@ -301,6 +304,8 @@ func (c *CostScaling) refine(g *flow.Graph, eps int64, opts *Options) error {
 // admissible path, collapsing what would otherwise be thousands of
 // single-eps relabels. An excess node that cannot reach any deficit proves
 // the problem infeasible.
+//
+//firmament:hotpath
 func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 	const inf = int64(1) << 62
 	bound := g.NodeIDBound()
@@ -403,6 +408,8 @@ func (c *CostScaling) priceUpdate(g *flow.Graph, eps int64) error {
 // relabelTarget computes the smallest potential increase for u that creates
 // an admissible arc: pi(u) = min over residual out-arcs (pi(head) + scaled
 // cost) + eps.
+//
+//firmament:hotpath
 func (c *CostScaling) relabelTarget(g *flow.Graph, u flow.NodeID, eps int64) (int64, bool) {
 	const unset = int64(1) << 62
 	best := unset
@@ -423,12 +430,16 @@ func (c *CostScaling) relabelTarget(g *flow.Graph, u flow.NodeID, eps int64) (in
 
 // scaledReducedCost is the reduced cost of a in the internally scaled cost
 // domain.
+//
+//firmament:hotpath
 func (c *CostScaling) scaledReducedCost(g *flow.Graph, a flow.ArcID) int64 {
 	return g.Cost(a)*c.scale - g.Potential(g.Tail(a)) + g.Potential(g.Head(a))
 }
 
 // scaledReducedCostFrom is scaledReducedCost for an arc known to leave
 // tail, skipping the partner-arc load in the discharge inner loop.
+//
+//firmament:hotpath
 func (c *CostScaling) scaledReducedCostFrom(g *flow.Graph, tail flow.NodeID, a flow.ArcID) int64 {
 	return g.Cost(a)*c.scale - g.Potential(tail) + g.Potential(g.Head(a))
 }
@@ -437,6 +448,8 @@ func (c *CostScaling) scaledReducedCostFrom(g *flow.Graph, tail flow.NodeID, a f
 // initial epsilon). The graph tracks the maximum incrementally under
 // AddArc/RemoveArc/SetArcCost, so the steady-state warm start pays O(1)
 // here instead of the O(M) sweep this used to be.
+//
+//firmament:hotpath
 func (c *CostScaling) maxScaledCost(g *flow.Graph) int64 {
 	m := g.MaxAbsCost()
 	if m < 1 {
@@ -448,6 +461,8 @@ func (c *CostScaling) maxScaledCost(g *flow.Graph) int64 {
 // maxViolation returns the largest negative scaled reduced cost over
 // residual arcs — how far the current state is from 0-optimality. Graph
 // changes since the last run are the only possible source of violations.
+//
+//firmament:hotpath
 func (c *CostScaling) maxViolation(g *flow.Graph) int64 {
 	var m int64
 	pl := g.ArcPlanes()

@@ -36,10 +36,10 @@ import (
 // work-cap abort — falls back to a from-scratch sequential solve, so the
 // returned optimum always agrees with what the sequential solver computes.
 type csParallel struct {
-	active []int32          // per-node activation flag (0/1, CAS-guarded)
-	wave   []flow.NodeID    // current wave of active nodes
-	next   [][]flow.NodeID  // per-worker next-wave buffers
-	merged []flow.NodeID    // reusable merge target
+	active []int32         // per-node activation flag (0/1, CAS-guarded)
+	wave   []flow.NodeID   // current wave of active nodes
+	next   [][]flow.NodeID // per-worker next-wave buffers
+	merged []flow.NodeID   // reusable merge target
 }
 
 func (p *csParallel) grow(nodes, workers int) {

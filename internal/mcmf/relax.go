@@ -147,6 +147,8 @@ func (r *Relaxation) run(g *flow.Graph, start time.Time, opts *Options) (Result,
 // root) and classifies u's out-arcs into the zero-reduced-cost frontier,
 // the positive-reduced-cost crossing heap, or — for complementary
 // slackness violations — immediate saturation.
+//
+//firmament:hotpath
 func (r *Relaxation) label(g *flow.Graph, opts *Options, u flow.NodeID, via flow.ArcID) {
 	r.labeled[u] = r.epoch
 	r.joinDelta[u] = r.delta
@@ -194,6 +196,8 @@ func (r *Relaxation) label(g *flow.Graph, opts *Options, u flow.NodeID, via flow
 
 // finish applies the accumulated dual ascent to every node of the current
 // tree: each gets the delta accrued since it joined.
+//
+//firmament:hotpath
 func (r *Relaxation) finish(g *flow.Graph) {
 	for _, z := range r.znodes {
 		g.SetPotential(z, g.Potential(z)+r.delta-r.joinDelta[z])
@@ -205,6 +209,8 @@ func (r *Relaxation) finish(g *flow.Graph) {
 // augment) or the trapped surplus exceeds the zero-cost out-capacity (then
 // saturate-and-ascend), repeating ascents until an augmentation happens or
 // the surplus has been pushed out of Z entirely.
+//
+//firmament:hotpath
 func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error {
 	r.epoch++
 	r.znodes = r.znodes[:0]
@@ -222,7 +228,8 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 		}
 		if r.surplus > r.zresid {
 			// Relaxation step: saturate every zero-rc arc leaving Z, ...
-			for _, front := range []*arcDeque{&r.zprio, &r.zfront} {
+			fronts := [2]*arcDeque{&r.zprio, &r.zfront} // array, not slice: no heap allocation
+			for _, front := range fronts[:] {
 				for front.len() > 0 {
 					a := front.popFront()
 					v := g.Head(a)
@@ -349,6 +356,7 @@ func (r *Relaxation) iterate(g *flow.Graph, s flow.NodeID, opts *Options) error 
 	}
 }
 
+//firmament:hotpath
 func (r *Relaxation) enqueue(id flow.NodeID) {
 	if !r.inQueue[id] {
 		r.queue = append(r.queue, id)

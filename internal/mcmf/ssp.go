@@ -219,6 +219,8 @@ func (w *sspSearch) grow(n int) {
 //
 // The search only reads the graph, so any number of sspSearch instances
 // may run concurrently over the same quiescent graph.
+//
+//firmament:hotpath
 func (w *sspSearch) dijkstra(g *flow.Graph, adj flow.Adjacency, src flow.NodeID, excess []int64, opts *Options) (flow.NodeID, bool) {
 	pl := g.ArcPlanes()
 	w.epoch++
@@ -282,6 +284,8 @@ func (w *sspSearch) dijkstra(g *flow.Graph, adj flow.Adjacency, src flow.NodeID,
 // — then augment along the parent pointers. Only the nodes the search
 // actually labeled can satisfy d(v) < D, so repricing walks the search's
 // touched list rather than every node of the graph.
+//
+//firmament:hotpath
 func (w *sspSearch) repriceAndAugment(g *flow.Graph, src, target flow.NodeID, excess []int64) {
 	d := w.dist[target]
 	for _, v := range w.touched {
@@ -314,6 +318,8 @@ func (w *sspSearch) repriceAndAugment(g *flow.Graph, src, target flow.NodeID, ex
 // augmentation keeps every residual arc's reduced cost non-negative (the
 // push only creates residual partners with rc = 0), so the SSP invariant
 // survives without a reprice. Returns whether it augmented.
+//
+//firmament:hotpath
 func (w *sspSearch) commitIfStillTight(g *flow.Graph, src, target flow.NodeID, excess []int64) bool {
 	if excess[target] >= 0 {
 		return false // an earlier commit consumed this deficit

@@ -179,6 +179,7 @@ func (j *journal) syncTo(seq uint64) error { return j.log.SyncTo(seq) }
 
 // ---- record encoding ----
 
+//firmament:deterministic
 func encodeSubmitRecord(e *wal.Enc, id cluster.JobID, class cluster.JobClass,
 	priority int, at time.Duration, specs []cluster.TaskSpec) {
 	e.U8(recSubmit)
@@ -192,6 +193,7 @@ func encodeSubmitRecord(e *wal.Enc, id cluster.JobID, class cluster.JobClass,
 	}
 }
 
+//firmament:deterministic
 func decodeSubmitRecord(d *wal.Dec) (id cluster.JobID, class cluster.JobClass,
 	priority int, at time.Duration, specs []cluster.TaskSpec) {
 	id = cluster.JobID(d.I64())
@@ -206,6 +208,7 @@ func decodeSubmitRecord(d *wal.Dec) (id cluster.JobID, class cluster.JobClass,
 	return
 }
 
+//firmament:deterministic
 func encodeIntentRecord(e *wal.Enc, o op) {
 	e.U8(recIntent)
 	e.U8(uint8(o.kind))
@@ -213,6 +216,7 @@ func encodeIntentRecord(e *wal.Enc, o op) {
 	e.I64(int64(o.machine))
 }
 
+//firmament:deterministic
 func decodeIntentRecord(d *wal.Dec) op {
 	return op{
 		kind:    opKind(d.U8()),
@@ -221,6 +225,7 @@ func decodeIntentRecord(d *wal.Dec) op {
 	}
 }
 
+//firmament:deterministic
 func encodeRoundRecord(e *wal.Enc, rr *roundRecord) {
 	e.U8(recRound)
 	e.I64(rr.round)
@@ -266,6 +271,7 @@ func encodeRoundRecord(e *wal.Enc, rr *roundRecord) {
 	e.U32(rr.tmplInvals)
 }
 
+//firmament:deterministic
 func encodeDecision(e *wal.Enc, dc core.Decision) {
 	e.I64(int64(dc.Task))
 	e.U8(uint8(dc.Kind))
@@ -274,6 +280,7 @@ func encodeDecision(e *wal.Enc, dc core.Decision) {
 	e.Dur(dc.SubmitTime)
 }
 
+//firmament:deterministic
 func decodeDecision(d *wal.Dec) core.Decision {
 	return core.Decision{
 		Task:       cluster.TaskID(d.I64()),
@@ -284,6 +291,7 @@ func decodeDecision(d *wal.Dec) core.Decision {
 	}
 }
 
+//firmament:deterministic
 func decodeRoundRecord(d *wal.Dec) (roundRecord, error) {
 	var rr roundRecord
 	rr.round = d.I64()

@@ -338,6 +338,8 @@ func (s *Service) saveSnapshot() error {
 // the recorded event batches folded into the (warm) flow network with an
 // incremental re-solve, and the journaled decisions force-applied. Intents
 // no round consumed are re-queued for the first live round.
+//
+//firmament:journaled replay consumes the journal: every registration here re-derives an already-durable record
 func (s *Service) replay(lw uint64, snapRound int64, lastNow time.Duration, info *RestoreInfo) error {
 	pending := make(map[uint64]op)
 	maxNow := lastNow

@@ -459,6 +459,7 @@ func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.T
 	s.noteTemplateCandidate(job.ID)
 	s.submitted.Add(int64(len(specs)))
 	s.wake()
+	//firmament:ignore lockorder closeMu.RLock is the close membrane, not a data lock: the read side is uncontended and the fsync must complete before Close can tear down the log
 	if err := s.jrn.syncTo(seq); err != nil {
 		// The job is registered and will be scheduled, but its durability
 		// ack failed — surface the disk fault to the caller.
@@ -510,6 +511,7 @@ func (s *Service) enqueue(key int64, o op) error {
 			return err
 		}
 		o.seq = seq
+		//firmament:ignore lockorder closeMu.RLock is the close membrane, not a data lock: the ack's fsync must complete before Close can tear down the log
 		if err := s.jrn.syncTo(seq); err != nil {
 			return err
 		}

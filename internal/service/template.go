@@ -2,7 +2,7 @@ package service
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -127,6 +127,8 @@ func (s *Service) machineView(m cluster.MachineID) (running, slots int, healthy 
 // drain and the solve, so the cluster occupancy it validates against
 // cannot shift before the commit. Returns the hit placements for
 // publication.
+//
+//firmament:hotpath
 func (s *Service) admitTemplates(now time.Duration, round int64) ([]Placement, error) {
 	tp := s.tmpl
 	tp.mu.Lock()
@@ -137,8 +139,9 @@ func (s *Service) admitTemplates(now time.Duration, round int64) ([]Placement, e
 	if len(cand) == 0 {
 		return nil, nil
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	slices.Sort(cand) // deterministic admission order, no sort.Slice closure allocation
 
+	//firmament:ignore hotalloc the hit placements escape to Watch subscribers; they cannot come from reused scratch
 	var placements []Placement
 	for _, jid := range cand {
 		job := s.cl.Job(jid)
@@ -175,6 +178,7 @@ func (s *Service) admitTemplates(now time.Duration, round int64) ([]Placement, e
 			for i, tid := range job.Tasks {
 				as := ent.Assign[i]
 				if err := s.cl.Place(tid, as.Machine, now); err != nil {
+					//firmament:ignore hotalloc invariant-violation path: a validated hit cannot fail Place while the scheduling goroutine is the sole occupancy mutator
 					return placements, fmt.Errorf("template commit: task %d on machine %d: %w", tid, as.Machine, err)
 				}
 				tp.decisions = append(tp.decisions, core.Decision{
@@ -182,6 +186,7 @@ func (s *Service) admitTemplates(now time.Duration, round int64) ([]Placement, e
 					Job: job.ID, SubmitTime: job.SubmitTime})
 				lat := now - job.SubmitTime
 				s.placementLatency.AddDuration(lat)
+				//firmament:ignore hotalloc see the declaration: the hit placements escape to subscribers, growth is the documented per-hit allocation
 				placements = append(placements, Placement{
 					Task: tid, Job: job.ID, Kind: core.DecisionPlaced,
 					Machine: as.Machine, Round: uint64(round), Latency: lat})

@@ -97,6 +97,8 @@ func (sh Shape) hash(h Hash) Hash {
 // lookup is confirmed by Template.Matches against the full stored shape
 // and profile, so a 64-bit collision can cost a cache miss, never a wrong
 // placement.
+//
+//firmament:hotpath
 func Fingerprint(sh Shape, profile []Slot) uint64 {
 	h := sh.hash(NewHash()).I64(int64(len(profile)))
 	for _, s := range profile {
@@ -107,6 +109,8 @@ func Fingerprint(sh Shape, profile []Slot) uint64 {
 
 // JobShape computes the Shape of job as the admission path sees it; ok is
 // false if any task record is missing (job completed concurrently).
+//
+//firmament:hotpath
 func JobShape(cl *cluster.Cluster, job *cluster.Job, sig uint64, wait int64) (Shape, bool) {
 	h := NewHash()
 	for _, tid := range job.Tasks {
@@ -131,8 +135,11 @@ func JobShape(cl *cluster.Cluster, job *cluster.Job, sig uint64, wait int64) (Sh
 // multiset: two cluster states that are occupancy-permutations of each
 // other fingerprint identically, which is exactly the equivalence class a
 // level-priced policy cannot distinguish.
+//
+//firmament:hotpath
 func GatherProfile(cl *cluster.Cluster, buf []Slot) []Slot {
 	buf = buf[:0]
+	//firmament:ignore hotalloc non-escaping capture: cl.Machines is a leaf iterator, the closure stays on the stack (BenchmarkTemplateHitPath holds 0 allocs/op)
 	cl.Machines(func(m *cluster.Machine) {
 		if !m.Healthy() {
 			return
@@ -146,11 +153,15 @@ func GatherProfile(cl *cluster.Cluster, buf []Slot) []Slot {
 // SortProfile orders a profile by (Running, Slots) — the canonical
 // multiset order GatherProfile produces. Callers that build profiles from
 // simulated occupancy (the recording path) sort with it.
+//
+//firmament:hotpath
 func SortProfile(s []Slot) { sortSlots(s) }
 
 // sortSlots orders by (Running, Slots). Profiles are small and nearly
 // sorted round over round; insertion sort avoids sort.Slice's closure
 // allocation on the hit path.
+//
+//firmament:hotpath
 func sortSlots(s []Slot) {
 	for i := 1; i < len(s); i++ {
 		for k := i; k > 0 && slotLess(s[k], s[k-1]); k-- {
@@ -159,6 +170,7 @@ func sortSlots(s []Slot) {
 	}
 }
 
+//firmament:hotpath
 func slotLess(a, b Slot) bool {
 	if a.Running != b.Running {
 		return a.Running < b.Running
@@ -188,6 +200,8 @@ type Template struct {
 // Matches reports whether the template was recorded under exactly this
 // shape and profile. A fingerprint hit with a Matches failure is a hash
 // collision between distinguishable states; callers treat it as a miss.
+//
+//firmament:hotpath
 func (t *Template) Matches(sh Shape, profile []Slot) bool {
 	if t.Shape != sh || len(t.Profile) != len(profile) {
 		return false
@@ -208,26 +222,35 @@ func (t *Template) Matches(sh Shape, profile []Slot) bool {
 // committed placements to the same occupancy-level multiset the recorded
 // optimum used, so the realized cost equals the recorded optimal cost.
 // Validate mutates nothing; the caller commits only after it returns true.
+//
+//firmament:hotpath
 func (t *Template) Validate(view func(m cluster.MachineID) (running, slots int, healthy bool)) bool {
-	var extra map[cluster.MachineID]int32
-	for _, as := range t.Assign {
+	for i, as := range t.Assign {
 		running, slots, healthy := view(as.Machine)
 		if !healthy {
 			return false
 		}
-		level := int32(running) + extra[as.Machine]
+		// Occupancy contributed by this template's own earlier tasks: a
+		// linear scan of the prior assignments. Assign is job-sized (tens
+		// of entries), so the O(tasks²) scan stays cheaper than the map it
+		// replaced — and allocation-free, which the hit path requires.
+		extra := int32(0)
+		for _, prev := range t.Assign[:i] {
+			if prev.Machine == as.Machine {
+				extra++
+			}
+		}
+		level := int32(running) + extra
 		if level != as.Level || int(level) >= slots {
 			return false
 		}
-		if extra == nil {
-			extra = make(map[cluster.MachineID]int32, len(t.Assign))
-		}
-		extra[as.Machine]++
 	}
 	return true
 }
 
 // Uses reports whether the template places any task on machine m.
+//
+//firmament:hotpath
 func (t *Template) Uses(m cluster.MachineID) bool {
 	for _, as := range t.Assign {
 		if as.Machine == m {
@@ -261,6 +284,8 @@ func NewCache(capacity int) *Cache {
 func (c *Cache) Len() int { return len(c.fifo) }
 
 // Lookup returns the template under fp, or nil.
+//
+//firmament:hotpath
 func (c *Cache) Lookup(fp uint64) *Template { return c.entries[fp] }
 
 // Insert stores t under t.FP, evicting the oldest entry when full. An

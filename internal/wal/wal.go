@@ -663,6 +663,7 @@ func (l *Log) Close() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	//firmament:ignore lockorder Close is one-shot teardown; l.mu must exclude concurrent Append until the final flush+fsync lands
 	if err := l.f.Sync(); err != nil {
 		return err
 	}

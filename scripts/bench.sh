@@ -16,6 +16,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# A BENCH_*.json snapshot asserts the hot-path contract (0 allocs/op in
+# steady state); never take one from a tree that violates it. firmament-vet
+# proves the contract statically before a single benchmark runs.
+echo "firmament-vet ./... (hot-path/determinism invariants)"
+go run ./cmd/firmament-vet ./...
+
 out="${1:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-3}"
