@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"firmament"
+	"firmament/internal/faultfs"
 )
 
 // jobTracker correlates placement events with in-flight jobs. Placements
@@ -235,6 +236,17 @@ func main() {
 		templates = flag.Bool("templates", false,
 			"enable the placement-template fast path: cache solver decisions for recurring job shapes "+
 				"and commit repeats without a solve")
+		onWALFailure = flag.String("on-wal-failure", "fail-stop",
+			"durable mode: response to a permanent WAL failure: fail-stop | degrade "+
+				"(degrade keeps scheduling volatile and re-arms durability when the disk heals)")
+		probeInterval = flag.Duration("wal-probe-interval", time.Second,
+			"durable mode: how often a degraded service probes the sick disk for recovery")
+		faultWritesBefore = flag.Int("fault-after-writes", 0,
+			"fault injection (testing): fail every WAL write with ENOSPC after this many "+
+				"succeed (0 disables)")
+		faultHealAfter = flag.Duration("fault-heal-after", 0,
+			"fault injection (testing): heal the injected fault this long after startup "+
+				"(0 = never heal)")
 	)
 	flag.Parse()
 
@@ -273,17 +285,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy, err := firmament.ParseWALFailurePolicy(*onWALFailure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur := firmament.DurabilityConfig{
+		Sync: sync, SnapshotEvery: *snapEvery,
+		OnWALFailure: policy, ProbeInterval: *probeInterval,
+	}
+	if *faultWritesBefore > 0 {
+		// Scripted disk sickness for the fault smoke: WAL writes start
+		// failing with ENOSPC after the configured number succeed, and the
+		// disk optionally heals on a timer. The injected FS wraps the real
+		// one, so everything written before (and after Heal) is real data.
+		ffs := faultfs.New()
+		ffs.Inject(faultfs.Fault{
+			Op: faultfs.OpWrite, Path: "wal-",
+			After: *faultWritesBefore, Count: faultfs.Persistent,
+			Err: syscall.ENOSPC,
+		})
+		dur.FS = ffs
+		if *faultHealAfter > 0 {
+			time.AfterFunc(*faultHealAfter, func() {
+				log.Printf("fault injection: healing injected ENOSPC (%d faults fired)", ffs.Fired())
+				ffs.Heal()
+			})
+		}
+		log.Printf("fault injection: WAL writes fail with ENOSPC after %d (heal after %v)",
+			*faultWritesBefore, *faultHealAfter)
+	}
 	durOpts := func(dir string) firmament.ServiceOptions {
+		d := dur
+		d.Dir = dir
 		return firmament.ServiceOptions{
 			Topology: topo,
 			Model: func(cl *firmament.Cluster) firmament.CostModel {
 				return firmament.NewLoadSpreadPolicy(cl)
 			},
-			Scheduler: cfg,
-			Service:   scfg,
-			Durability: firmament.DurabilityConfig{
-				Dir: dir, Sync: sync, SnapshotEvery: *snapEvery,
-			},
+			Scheduler:  cfg,
+			Service:    scfg,
+			Durability: d,
 		}
 	}
 
@@ -387,6 +428,33 @@ func runServer(addr string, topo firmament.Topology, cfg firmament.Config,
 	fmt.Printf("cluster: %d machines in %d racks, %d slots, %d front-door shards\n",
 		cl.NumMachines(), cl.NumRacks(), cl.TotalSlots(), cl.NumShards())
 	fmt.Printf("serving HTTP front door on %s (mode %s)\n", addr, mode)
+
+	// Narrate health transitions (ok -> degraded -> ok on a sick disk that
+	// heals, or -> failed under fail-stop) so an operator tailing the log
+	// sees the durability state machine move, not just a flipped healthz.
+	healthDone := make(chan struct{})
+	defer close(healthDone)
+	go func() {
+		last := svc.Health()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-healthDone:
+				return
+			case <-tick.C:
+			}
+			h := svc.Health()
+			if h.State != last.State {
+				if h.Cause != "" {
+					log.Printf("health: %s -> %s (%s)", last.State, h.State, h.Cause)
+				} else {
+					log.Printf("health: %s -> %s", last.State, h.State)
+				}
+				last = h
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -496,7 +564,7 @@ func runDriver(d door, submitters, tasksPerJob int, duration time.Duration, perS
 							jobID, werr)
 					}
 					log.Fatalf("job %d not fully placed after 1m "+
-						"(placement events dropped? see DroppedPublications)", jobID)
+						"(placement events dropped? see watch_dropped)", jobID)
 				}
 			}
 		}(i)

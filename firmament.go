@@ -334,7 +334,37 @@ type (
 	RestoreInfo = service.RestoreInfo
 	// SyncPolicy selects when journal appends reach stable storage.
 	SyncPolicy = wal.SyncPolicy
+	// WALFailurePolicy selects how the service responds to a permanent WAL
+	// failure (DurabilityConfig.OnWALFailure): fail-stop or degrade.
+	WALFailurePolicy = service.WALFailurePolicy
+	// ServiceHealth is a point-in-time health report: ok, degraded, or
+	// failed, plus the captured cause.
+	ServiceHealth = service.Health
+	// HealthState is the coarse health state in a ServiceHealth.
+	HealthState = service.HealthState
 )
+
+// WAL failure policies (DurabilityConfig.OnWALFailure).
+const (
+	// WALFailStop stops the service cleanly on a permanent WAL failure.
+	WALFailStop = service.WALFailStop
+	// WALDegrade keeps scheduling volatile and probes the disk, re-arming
+	// durability once it heals.
+	WALDegrade = service.WALDegrade
+)
+
+// Health states reported by SchedulerService.Health.
+const (
+	HealthOK       = service.HealthOK
+	HealthDegraded = service.HealthDegraded
+	HealthFailed   = service.HealthFailed
+)
+
+// ParseWALFailurePolicy maps the CLI spelling ("fail-stop", "degrade") to a
+// WALFailurePolicy.
+func ParseWALFailurePolicy(s string) (WALFailurePolicy, error) {
+	return service.ParseWALFailurePolicy(s)
+}
 
 // Journal fsync policies. All of them flush acknowledged records to the OS,
 // so a killed process loses nothing acknowledged; they differ in exposure
@@ -390,6 +420,9 @@ type (
 	// APIWatchStream is a live remote placement subscription; after its C
 	// closes, Err distinguishes clean close from transport failure.
 	APIWatchStream = api.WatchStream
+	// APIHealthResponse is the wire form of GET /v1/healthz: the health
+	// state plus the captured cause.
+	APIHealthResponse = api.HealthResponse
 )
 
 // NewAPIServer builds the HTTP front door over svc. Wrap it in an

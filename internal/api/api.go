@@ -53,7 +53,7 @@
 //
 // The stream is bridged from Service.Watch: each connection gets its own
 // subscriber channel, and a client that reads too slowly loses events
-// (counted in the service's DroppedPublications) rather than stalling the
+// (counted in the service's WatchDropped) rather than stalling the
 // scheduling loop. The stream ends when the client disconnects or the
 // service closes.
 package api

@@ -205,6 +205,35 @@ func (c *Client) Stats() (Stats, error) {
 	return st, err
 }
 
+// Healthz fetches the scheduler's health. Unlike the other unary calls a
+// 503 is not an error here — it is the answer ("degraded" or "failed",
+// with the cause in the body); only transport and decode failures return
+// an error.
+func (c *Client) Healthz() (HealthResponse, error) {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	var h HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return h, fmt.Errorf("api: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, fmt.Errorf("api: GET /v1/healthz: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return h, &apiError{status: resp.StatusCode, msg: resp.Status}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("api: decoding health response: %w", err)
+	}
+	return h, nil
+}
+
 // WatchStream is a live placement subscription. C carries every decision
 // the server-side subscriber keeps up with (slow readers lose events
 // server-side, never stall the scheduler) and closes when the stream ends:

@@ -36,6 +36,7 @@ func NewServer(svc *service.Service) *Server {
 	s.mux.HandleFunc("POST /v1/machines/{id}/remove", s.handleMachineOp(s.svc.RemoveMachine))
 	s.mux.HandleFunc("POST /v1/machines/{id}/restore", s.handleMachineOp(s.svc.RestoreMachine))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	return s
 }
@@ -168,6 +169,20 @@ func (s *Server) handleMachineOp(op func(cluster.MachineID) error) http.HandlerF
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsFromService(s.svc.Stats()))
+}
+
+// handleHealthz reports the scheduler's health: 200 while ok, 503 while
+// degraded (scheduling volatile after a WAL failure) or failed (loop dead
+// or service closed). The JSON body carries the state and cause in every
+// case, so probes that only read the status code and operators that read
+// the body both get an answer.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.svc.Health()
+	status := http.StatusOK
+	if h.State != service.HealthOK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, healthToWire(h))
 }
 
 // handleWatch bridges Service.Watch onto the response as an NDJSON stream.

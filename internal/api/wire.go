@@ -136,23 +136,35 @@ func summarize(d *metrics.Dist) DistSummary {
 	}
 }
 
+// HealthResponse is the body of GET /v1/healthz: HTTP 200 when the status
+// is "ok", 503 when "degraded" or "failed" — the body says why either way,
+// so a load balancer can drop the member while an operator reads the cause.
+type HealthResponse struct {
+	Status string `json:"status"` // ok | degraded | failed
+	Cause  string `json:"cause,omitempty"`
+}
+
+func healthToWire(h service.Health) HealthResponse {
+	return HealthResponse{Status: h.State.String(), Cause: h.Cause}
+}
+
 // Stats is the wire form of service.Stats, with the sample distributions
 // reduced to summaries.
 type Stats struct {
-	Rounds              int64 `json:"rounds"`
-	Submitted           int64 `json:"submitted"`
-	Backlogged          int64 `json:"backlogged"`
-	Placed              int64 `json:"placed"`
-	Migrated            int64 `json:"migrated"`
-	Preempted           int64 `json:"preempted"`
-	Completed           int64 `json:"completed"`
-	StaleCompletions    int64 `json:"stale_completions"`
-	StaleMachineOps     int64 `json:"stale_machine_ops"`
-	StaleDecisions      int64 `json:"stale_decisions"`
-	Unscheduled         int64 `json:"unscheduled"`
-	DroppedPublications int64 `json:"dropped_publications"`
-	SolverWarmStarts    int64 `json:"solver_warm_starts"`
-	SolverFullRestarts  int64 `json:"solver_full_restarts"`
+	Rounds             int64 `json:"rounds"`
+	Submitted          int64 `json:"submitted"`
+	Backlogged         int64 `json:"backlogged"`
+	Placed             int64 `json:"placed"`
+	Migrated           int64 `json:"migrated"`
+	Preempted          int64 `json:"preempted"`
+	Completed          int64 `json:"completed"`
+	StaleCompletions   int64 `json:"stale_completions"`
+	StaleMachineOps    int64 `json:"stale_machine_ops"`
+	StaleDecisions     int64 `json:"stale_decisions"`
+	Unscheduled        int64 `json:"unscheduled"`
+	WatchDropped       int64 `json:"watch_dropped"`
+	SolverWarmStarts   int64 `json:"solver_warm_starts"`
+	SolverFullRestarts int64 `json:"solver_full_restarts"`
 	// Template fast-path counters (zero unless the service runs with
 	// ServiceConfig.Templates on): jobs placed straight from the placement
 	// template cache, jobs that fell through to the solver, and cached
@@ -160,9 +172,18 @@ type Stats struct {
 	TemplateHits          int64 `json:"template_hits"`
 	TemplateMisses        int64 `json:"template_misses"`
 	TemplateInvalidations int64 `json:"template_invalidations"`
-	Pending               int64 `json:"pending"`
-	Running               int64 `json:"running"`
-	SolverParallelism     int64 `json:"solver_parallelism"`
+	// Disk-fault tolerance counters and health (docs/durability.md, fault
+	// model): transient errors retried away, rounds run with durability
+	// off, successful re-arms, and the current health state plus captured
+	// cause ("" while ok).
+	WALRetries        int64  `json:"wal_retries"`
+	DegradedRounds    int64  `json:"degraded_rounds"`
+	WALRearms         int64  `json:"wal_rearms"`
+	Health            string `json:"health"`
+	FailureCause      string `json:"failure_cause,omitempty"`
+	Pending           int64  `json:"pending"`
+	Running           int64  `json:"running"`
+	SolverParallelism int64  `json:"solver_parallelism"`
 
 	QueueDepth       DistSummary `json:"queue_depth"`
 	BatchSize        DistSummary `json:"batch_size"`
@@ -187,12 +208,17 @@ func StatsFromService(st service.Stats) Stats {
 		StaleMachineOps:       st.StaleMachineOps,
 		StaleDecisions:        st.StaleDecisions,
 		Unscheduled:           st.Unscheduled,
-		DroppedPublications:   st.DroppedPublications,
+		WatchDropped:          st.WatchDropped,
 		SolverWarmStarts:      st.SolverWarmStarts,
 		SolverFullRestarts:    st.SolverFullRestarts,
 		TemplateHits:          st.TemplateHits,
 		TemplateMisses:        st.TemplateMisses,
 		TemplateInvalidations: st.TemplateInvalidations,
+		WALRetries:            st.WALRetries,
+		DegradedRounds:        st.DegradedRounds,
+		WALRearms:             st.WALRearms,
+		Health:                st.Health,
+		FailureCause:          st.FailureCause,
 		Pending:               st.Pending,
 		Running:               st.Running,
 		SolverParallelism:     st.SolverParallelism,

@@ -1,0 +1,319 @@
+// Package faultfs provides a deterministic fault-injecting implementation
+// of the wal.FS seam. Faults are scripted, not random: each Fault names an
+// operation class, a path substring, how many matching calls to let through
+// first, and how many times to fire, so a test can spell out "the third
+// fsync on the active segment fails once with EINTR" or "every write after
+// byte offset 137 is torn" and replay it exactly.
+//
+// Determinism comes from counting: the FS keeps per-fault match counters
+// under a mutex and never consults a clock or RNG. Seeded schedules are
+// built by the caller (e.g. RandomFault with a caller-owned *rand.Rand) and
+// injected up front, which keeps the schedule reproducible from the seed
+// alone.
+package faultfs
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+
+	"firmament/internal/wal"
+)
+
+// Op identifies the class of filesystem operation a Fault targets.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	OpReadDir
+	OpRead
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpMkdir:
+		return "mkdir"
+	case OpReadDir:
+		return "readdir"
+	case OpRead:
+		return "read"
+	}
+	return "op?"
+}
+
+// Persistent as a Fault.Count means the fault never expires (until Heal).
+const Persistent = -1
+
+// Fault scripts one failure. The zero value is not useful: set at least Op
+// and Err.
+type Fault struct {
+	// Op is the operation class the fault applies to.
+	Op Op
+	// Path restricts the fault to paths containing this substring.
+	// Empty matches every path.
+	Path string
+	// After skips this many matching calls before the fault starts firing,
+	// selecting the exact fault point ("the 3rd fsync").
+	After int
+	// Count is how many matching calls fail once armed: 1 is error-once,
+	// Persistent (or any negative value) is error-persistent.
+	Count int
+	// Err is the error returned by failing calls. Wrapped so errors.Is
+	// still matches the underlying errno. Nil defaults to syscall.EIO.
+	Err error
+
+	// KeepBytes, for OpWrite, persists that many leading bytes of the
+	// failing write before returning Err — a short write. 0 keeps nothing.
+	KeepBytes int
+	// CutAt, for OpWrite, tears the write crossing this absolute file
+	// offset: bytes below CutAt persist, the rest are lost. Takes
+	// precedence over KeepBytes when > 0. Writes entirely below CutAt are
+	// not matched (they complete and do not consume the fault).
+	CutAt int64
+}
+
+type faultState struct {
+	Fault
+	seen  int // matching calls observed so far
+	fired int // matching calls failed so far
+}
+
+func (f *faultState) expired() bool {
+	return f.Count >= 0 && f.fired >= f.Count
+}
+
+// FS wraps an inner wal.FS and injects scripted faults. Safe for concurrent
+// use; fault matching is serialised so schedules stay deterministic for a
+// deterministic caller.
+type FS struct {
+	inner wal.FS
+
+	mu     sync.Mutex
+	faults []*faultState
+	fired  int // total faults fired since New/Heal
+}
+
+var _ wal.FS = (*FS)(nil)
+
+// New returns a fault-injecting FS over the real filesystem.
+func New() *FS { return NewOver(wal.OSFS) }
+
+// NewOver returns a fault-injecting FS over inner.
+func NewOver(inner wal.FS) *FS { return &FS{inner: inner} }
+
+// Inject adds a fault to the schedule. Faults are matched in injection
+// order; the first live match fires.
+func (fs *FS) Inject(f Fault) {
+	if f.Err == nil {
+		f.Err = syscall.EIO
+	}
+	fs.mu.Lock()
+	fs.faults = append(fs.faults, &faultState{Fault: f})
+	fs.mu.Unlock()
+}
+
+// Heal clears every scheduled fault: the disk is healthy again.
+func (fs *FS) Heal() {
+	fs.mu.Lock()
+	fs.faults = nil
+	fs.mu.Unlock()
+}
+
+// Fired reports how many faults have fired since New (not reset by Heal).
+func (fs *FS) Fired() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fired
+}
+
+// RandomFault draws a reproducible fault from rng for property tests:
+// operation class, once-vs-persistent schedule, arming delay and error are
+// all derived from the caller's seeded generator.
+func RandomFault(rng *rand.Rand) Fault {
+	ops := []Op{OpWrite, OpSync, OpOpen, OpRename, OpTruncate}
+	errs := []error{syscall.EIO, syscall.ENOSPC, syscall.EINTR, syscall.EAGAIN}
+	f := Fault{
+		Op:    ops[rng.Intn(len(ops))],
+		After: rng.Intn(8),
+		Count: 1,
+		Err:   errs[rng.Intn(len(errs))],
+	}
+	if rng.Intn(3) == 0 {
+		f.Count = Persistent
+	}
+	if f.Op == OpWrite && rng.Intn(2) == 0 {
+		f.KeepBytes = rng.Intn(16)
+	}
+	return f
+}
+
+// match reports whether a live fault fires for (op, path) and returns it.
+// Callers hold no fs locks.
+func (fs *FS) match(op Op, path string, spansCut func(int64) bool) *faultState {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.faults {
+		if f.Op != op || f.expired() {
+			continue
+		}
+		if f.Path != "" && !contains(path, f.Path) {
+			continue
+		}
+		if op == OpWrite && f.CutAt > 0 {
+			if spansCut == nil || !spansCut(f.CutAt) {
+				continue
+			}
+		}
+		f.seen++
+		if f.seen <= f.After {
+			continue
+		}
+		f.fired++
+		fs.fired++
+		return f
+	}
+	return nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func (fs *FS) check(op Op, path string) error {
+	if f := fs.match(op, path, nil); f != nil {
+		return &os.PathError{Op: op.String(), Path: path, Err: f.Err}
+	}
+	return nil
+}
+
+func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	if err := fs.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	wpos := int64(0)
+	if flag&os.O_APPEND != 0 {
+		if st, err := f.Stat(); err == nil {
+			wpos = st.Size()
+		}
+	}
+	return &file{fs: fs, path: name, inner: f, wpos: wpos}, nil
+}
+
+func (fs *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := fs.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return fs.inner.MkdirAll(path, perm)
+}
+
+func (fs *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := fs.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return fs.inner.ReadDir(name)
+}
+
+func (fs *FS) Remove(name string) error {
+	if err := fs.check(OpRemove, name); err != nil {
+		return err
+	}
+	return fs.inner.Remove(name)
+}
+
+func (fs *FS) Rename(oldpath, newpath string) error {
+	if err := fs.check(OpRename, oldpath); err != nil {
+		return err
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+func (fs *FS) Truncate(name string, size int64) error {
+	if err := fs.check(OpTruncate, name); err != nil {
+		return err
+	}
+	return fs.inner.Truncate(name, size)
+}
+
+// file wraps a wal.File, tracking the append offset so torn writes can be
+// scripted against absolute file positions.
+type file struct {
+	fs    *FS
+	path  string
+	inner wal.File
+
+	mu   sync.Mutex
+	wpos int64 // next write offset (journal files are append-only)
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	if err := f.fs.check(OpRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	spans := func(cut int64) bool { return f.wpos+int64(len(p)) > cut }
+	fault := f.fs.match(OpWrite, f.path, spans)
+	if fault == nil {
+		n, err := f.inner.Write(p)
+		f.wpos += int64(n)
+		return n, err
+	}
+	keep := fault.KeepBytes
+	if fault.CutAt > 0 {
+		keep = int(fault.CutAt - f.wpos)
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(p) {
+		keep = len(p)
+	}
+	n := 0
+	if keep > 0 {
+		n, _ = f.inner.Write(p[:keep])
+		f.wpos += int64(n)
+	}
+	return n, &os.PathError{Op: "write", Path: f.path, Err: fault.Err}
+}
+
+func (f *file) Sync() error {
+	if err := f.fs.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Close() error               { return f.inner.Close() }
+func (f *file) Stat() (os.FileInfo, error) { return f.inner.Stat() }

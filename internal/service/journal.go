@@ -143,6 +143,16 @@ func (j *journal) appendIntent(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
+// adoptIntent registers an already-durable intent sequence with this
+// journal's low-water accounting. The re-arm (health.go) builds a fresh
+// journal over the reopened log and carries the pre-failure intents over
+// with it, so the next snapshot's replay window still covers their records.
+func (j *journal) adoptIntent(seq uint64) {
+	j.mu.Lock()
+	j.intents[seq] = struct{}{}
+	j.mu.Unlock()
+}
+
 func (j *journal) consumeIntents(ops []enactedOp) {
 	j.mu.Lock()
 	for _, o := range ops {

@@ -34,6 +34,23 @@ type DurabilityConfig struct {
 	Retain int
 	// SegmentBytes overrides the WAL segment size (testing).
 	SegmentBytes int64
+	// OnWALFailure selects the response to a permanent WAL error:
+	// WALFailStop (default) stops the service with the cause captured;
+	// WALDegrade keeps scheduling volatile, probes the disk, and re-arms
+	// durability once it heals. See docs/durability.md, fault model.
+	OnWALFailure WALFailurePolicy
+	// RetryLimit bounds in-round retries of transient WAL sync errors
+	// (EINTR, EAGAIN). Default 3; negative disables retry.
+	RetryLimit int
+	// RetryBackoff is the initial backoff between retries, doubling each
+	// attempt. Default 1ms.
+	RetryBackoff time.Duration
+	// ProbeInterval paces degraded-mode disk probes (re-arm attempts).
+	// Default 1s.
+	ProbeInterval time.Duration
+	// FS overrides the filesystem the journal reads and writes through.
+	// Nil means the real one; tests inject faults (internal/faultfs).
+	FS wal.FS
 }
 
 func (d DurabilityConfig) withDefaults() DurabilityConfig {
@@ -45,6 +62,15 @@ func (d DurabilityConfig) withDefaults() DurabilityConfig {
 	}
 	if d.Retain <= 0 {
 		d.Retain = 2
+	}
+	if d.RetryLimit == 0 {
+		d.RetryLimit = 3
+	}
+	if d.RetryBackoff <= 0 {
+		d.RetryBackoff = time.Millisecond
+	}
+	if d.ProbeInterval <= 0 {
+		d.ProbeInterval = time.Second
 	}
 	return d
 }
@@ -107,7 +133,7 @@ func Open(opts Options) (*Service, *RestoreInfo, error) {
 	if opts.Model == nil {
 		return nil, nil, errors.New("service: Options.Model is required")
 	}
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, Sync: dur.Sync})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, Sync: dur.Sync, FS: dur.FS})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,7 +166,7 @@ func Replay(opts Options) (*Service, *RestoreInfo, error) {
 	if opts.Model == nil {
 		return nil, nil, errors.New("service: Options.Model is required")
 	}
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, Sync: wal.SyncNone})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, Sync: wal.SyncNone, FS: dur.FS})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -79,7 +79,7 @@ type Config struct {
 	IdleInterval time.Duration
 	// SubscriberBuffer is the per-subscriber channel capacity. A
 	// subscriber that falls more than a full buffer behind loses events
-	// (counted in Stats.DroppedPublications). Default 65536.
+	// (counted in Stats.WatchDropped). Default 65536.
 	SubscriberBuffer int
 	// Shards is the number of ingestion-queue shards for the batched ops
 	// (completions, machine changes), rounded up to a power of two.
@@ -232,6 +232,15 @@ type Service struct {
 	runErrMu sync.Mutex
 	runErr   error
 
+	// Disk-fault tolerance (health.go): health holds a HealthState; while
+	// Degraded the front door skips journaling and the loop probes the disk
+	// every ProbeInterval, re-arming durability when it heals. healthCause
+	// is the first error that degraded or failed the service.
+	health      atomic.Int32
+	healthMu    sync.Mutex
+	healthCause error
+	lastProbe   time.Time // loop-owned probe pacing
+
 	// Counters (atomics: read by Stats from any goroutine).
 	rounds           atomic.Int64
 	submitted        atomic.Int64
@@ -247,6 +256,9 @@ type Service struct {
 	dropped          atomic.Int64
 	warmStarts       atomic.Int64
 	fullRestarts     atomic.Int64
+	walRetries       atomic.Int64
+	degradedRounds   atomic.Int64
+	walRearms        atomic.Int64
 
 	templateHits   atomic.Int64
 	templateMisses atomic.Int64
@@ -364,7 +376,7 @@ func (s *Service) backlogged() bool {
 // ErrBacklogged without registering anything; SubmitWait blocks instead.
 func (s *Service) Submit(class cluster.JobClass, priority int, specs []cluster.TaskSpec) (*cluster.Job, error) {
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return nil, s.closedErr()
 	}
 	if s.backlogged() {
 		s.refused.Add(1)
@@ -406,7 +418,7 @@ func (s *Service) SubmitWaitCtx(ctx context.Context, class cluster.JobClass, pri
 		}
 		if s.closed.Load() {
 			s.bpMu.Unlock()
-			return nil, ErrClosed
+			return nil, s.closedErr()
 		}
 		if !s.backlogged() {
 			break
@@ -432,10 +444,12 @@ func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.T
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return nil, s.closedErr()
 	}
 	now := s.now()
-	if s.jrn == nil {
+	if s.jrn == nil || s.degradedNow() {
+		// Volatile path: no journal, or durability is degraded after a WAL
+		// failure (Health says so loudly; the ack carries no persistence).
 		job := s.cl.SubmitJob(class, priority, now, specs)
 		s.noteTemplateCandidate(job.ID)
 		s.submitted.Add(int64(len(specs)))
@@ -452,18 +466,37 @@ func (s *Service) submit(class cluster.JobClass, priority int, specs []cluster.T
 	encodeSubmitRecord(&e, id, class, priority, now, specs)
 	seq, err := s.jrn.appendSubmit(e.B)
 	if err != nil {
-		return nil, err
+		// A failed append may have torn the buffered frame; no in-place
+		// retry can mend it (the re-arm reopen does). Fail-stop surfaces
+		// the fault; degrade keeps the job, volatile.
+		if !s.walFailure(err) {
+			return nil, err
+		}
+		job := s.cl.SubmitJobWithID(id, class, priority, now, specs)
+		s.noteTemplateCandidate(job.ID)
+		s.submitted.Add(int64(len(specs)))
+		s.wake()
+		return job, nil
 	}
 	job := s.cl.SubmitJobWithID(id, class, priority, now, specs)
 	s.jrn.releaseSubmit(seq)
 	s.noteTemplateCandidate(job.ID)
 	s.submitted.Add(int64(len(specs)))
 	s.wake()
-	//firmament:ignore lockorder closeMu.RLock is the close membrane, not a data lock: the read side is uncontended and the fsync must complete before Close can tear down the log
-	if err := s.jrn.syncTo(seq); err != nil {
-		// The job is registered and will be scheduled, but its durability
-		// ack failed — surface the disk fault to the caller.
-		return nil, err
+	// The fsync-under-closeMu waiver of old lives on: closeMu.RLock is the
+	// close membrane, not a data lock, and the ack's fsync must complete
+	// before Close can tear down the log. Transient sync errors (EINTR,
+	// EAGAIN) retry with bounded backoff before the failure policy weighs
+	// in.
+	if err := s.retryWAL(func() error { return s.jrn.syncTo(seq) }); err != nil {
+		if !s.walFailure(err) {
+			// Fail-stop: the job is registered and will be scheduled until
+			// the loop notices, but its durability ack failed — surface the
+			// disk fault to the caller.
+			return nil, err
+		}
+		// Degraded: the job is registered and scheduling continues; the
+		// caller sees success but Health reports the ack was volatile.
 	}
 	return job, nil
 }
@@ -499,21 +532,32 @@ func (s *Service) enqueue(key int64, o op) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
-		return ErrClosed
+		return s.closedErr()
 	}
-	if s.jrn != nil {
+	if s.jrn != nil && !s.degradedNow() {
 		// Journal the intent before queueing: an acknowledged op survives a
 		// crash even if no round ever drained it (recovery re-queues it).
+		// On a WAL failure the op is either refused (fail-stop) or queued
+		// volatile with seq 0 (degrade) — the re-arm restamps it.
 		var e wal.Enc
 		encodeIntentRecord(&e, o)
 		seq, err := s.jrn.appendIntent(e.B)
 		if err != nil {
-			return err
-		}
-		o.seq = seq
-		//firmament:ignore lockorder closeMu.RLock is the close membrane, not a data lock: the ack's fsync must complete before Close can tear down the log
-		if err := s.jrn.syncTo(seq); err != nil {
-			return err
+			if !s.walFailure(err) {
+				return err
+			}
+		} else {
+			o.seq = seq
+			// closeMu.RLock is the close membrane, not a data lock: the
+			// ack's fsync must complete before Close can tear down the log.
+			if err := s.retryWAL(func() error { return s.jrn.syncTo(seq) }); err != nil {
+				if !s.walFailure(err) {
+					return err
+				}
+				// The record may be torn on disk; queue the op volatile so
+				// the re-arm gives it a fresh, whole intent record.
+				o.seq = 0
+			}
 		}
 	}
 	sh := s.opShards[key&s.opMask]
@@ -623,15 +667,18 @@ func (s *Service) Close() error {
 			// never journaled, so its partial effects must not be snapshot.
 			// Unsolved template rounds may have left graph changes the
 			// snapshot codec cannot carry; then the WAL alone stays the
-			// consistent truth and no snapshot is cut.
-			if s.Err() == nil && s.sched.PendingChanges() == 0 {
+			// consistent truth and no snapshot is cut. A degraded close
+			// skips the snapshot too — the disk is sick and the volatile
+			// window was never promised durable.
+			degraded := s.degradedNow()
+			if s.Err() == nil && !degraded && s.sched.PendingChanges() == 0 {
 				if err := s.saveSnapshot(); err != nil {
 					s.closeErr = err
 				} else if err := s.jrn.log.TruncateBefore(s.dur.Retain); err != nil {
 					s.closeErr = err
 				}
 			}
-			if err := s.jrn.log.Close(); err != nil && s.closeErr == nil {
+			if err := s.jrn.log.Close(); err != nil && s.closeErr == nil && !degraded {
 				s.closeErr = err
 			}
 		})
@@ -690,7 +737,11 @@ func (s *Service) loop() {
 		progress, err := s.runRound()
 		if err != nil {
 			s.runErrMu.Lock()
-			s.runErr = fmt.Errorf("service: scheduling round %d: %w", s.rounds.Load(), err)
+			// A front-door walFailure under WALFailStop may have recorded
+			// the cause already; the first error wins.
+			if s.runErr == nil {
+				s.runErr = fmt.Errorf("service: scheduling round %d: %w", s.rounds.Load(), err)
+			}
 			s.runErrMu.Unlock()
 			s.closeMu.Lock() // same guarded transition as Close
 			s.closed.Store(true)
@@ -700,6 +751,12 @@ func (s *Service) loop() {
 		// A round's placements drain the pending backlog: let any parked
 		// SubmitWait callers re-check the admission ceiling.
 		s.wakeWaiters()
+		// A degraded service must keep probing the disk even when idle: the
+		// loop parks between kicks, so a wake at the next probe time keeps
+		// re-arm attempts coming without any front-door traffic.
+		if s.degradedNow() {
+			time.AfterFunc(s.dur.ProbeInterval, s.wake)
+		}
 		// More work already waiting (ops queued, events logged, or tasks
 		// still pending placement): keep going, pacing bounds the rate.
 		// Rounds that neither folded in events nor enacted decisions back
@@ -739,9 +796,24 @@ func (s *Service) pendingWork() bool {
 // events coalesce into the next round's batch.
 func (s *Service) runRound() (progress bool, err error) {
 	t0 := time.Now()
+	if err := s.fatalWAL(); err != nil {
+		// A front-door goroutine hit a permanent WAL failure under
+		// WALFailStop; it could not stop the loop itself (it holds the
+		// close membrane's read side), so the round check does.
+		return false, err
+	}
+	if s.jrn != nil && s.degradedNow() {
+		s.degradedRounds.Add(1)
+		s.maybeRearm() // probe the disk; re-arm durability if it healed
+	}
 	round := s.rounds.Add(1)
-	durable := s.jrn != nil
-	if durable {
+	// Degraded rounds run the full pipeline but journal nothing: the
+	// re-arm snapshot, not the log, re-covers their effects.
+	durable := s.jrn != nil && !s.degradedNow()
+	if s.jrn != nil {
+		// Reset the journaling scratch even when degraded — the EventTap
+		// keeps feeding roundBatches regardless, and a degraded run must
+		// not accumulate batches across rounds.
 		s.roundBatches = s.roundBatches[:0]
 		s.enactedOps = s.enactedOps[:0]
 		s.recDecisions = s.recDecisions[:0]
@@ -891,21 +963,31 @@ func (s *Service) runRound() (progress bool, err error) {
 
 	if durable {
 		// Journal the round before publishing it: nothing becomes visible
-		// to subscribers that recovery could not re-enact.
+		// to subscribers that recovery could not re-enact. A WAL failure
+		// here degrades (the round happened; its record is the casualty —
+		// the re-arm snapshot re-covers it) or fail-stops per policy.
 		if err := s.journalRound(round, now, applyNow, ap, solved); err != nil {
-			return false, err
+			if !s.walFailure(err) {
+				return false, err
+			}
+			durable = false
 		}
 	}
 
 	s.publish(decisions)
 
-	if snapshotDue {
+	if snapshotDue && durable {
 		if err := s.saveSnapshot(); err != nil {
-			return false, err
-		}
-		s.lastSnapRound = round
-		if err := s.jrn.log.TruncateBefore(s.dur.Retain); err != nil {
-			return false, err
+			if !s.walFailure(err) {
+				return false, err
+			}
+		} else {
+			s.lastSnapRound = round
+			if err := s.jrn.log.TruncateBefore(s.dur.Retain); err != nil {
+				if !s.walFailure(err) {
+					return false, err
+				}
+			}
 		}
 	}
 
@@ -953,7 +1035,7 @@ func (s *Service) journalRound(round int64, drainNow, applyNow time.Duration, ap
 		return err
 	}
 	s.jrn.consumeIntents(rr.ops)
-	return s.jrn.syncTo(seq)
+	return s.retryWAL(func() error { return s.jrn.syncTo(seq) })
 }
 
 // publish fans a round's decisions out to all subscribers. Slow subscribers
@@ -1001,9 +1083,9 @@ type Stats struct {
 	// failed, destination slot taken — core.ApplyStats.Stale).
 	StaleDecisions int64
 	Unscheduled    int64 // per-round sum of tasks left waiting
-	// DroppedPublications counts placement events lost to slow
-	// subscribers.
-	DroppedPublications int64
+	// WatchDropped counts placement events lost to slow Watch subscribers
+	// (the publish path never blocks the scheduling loop).
+	WatchDropped int64
 	// SolverWarmStarts and SolverFullRestarts count rounds whose
 	// incremental cost scaling run reused the prior flow and potentials
 	// versus falling back to a from-scratch solve. A restored service's
@@ -1022,6 +1104,19 @@ type Stats struct {
 	TemplateHits          int64
 	TemplateMisses        int64
 	TemplateInvalidations int64
+	// WALRetries counts transient WAL errors absorbed by in-round retry;
+	// DegradedRounds counts scheduling rounds run with durability off
+	// after a WAL failure under WALDegrade; WALRearms counts successful
+	// degraded→ok recoveries (reopened WAL plus a fresh full snapshot).
+	// See docs/durability.md, fault model.
+	WALRetries     int64
+	DegradedRounds int64
+	WALRearms      int64
+	// Health is the coarse health state ("ok", "degraded", "failed") and
+	// FailureCause the captured reason when not ok — a stopped scheduler
+	// is distinguishable from a gracefully closed one.
+	Health       string
+	FailureCause string
 	// Pending and Running are point-in-time cluster gauges (tasks).
 	Pending int64
 	Running int64
@@ -1054,6 +1149,7 @@ func (st Stats) Stale() int64 { return st.StaleCompletions + st.StaleDecisions }
 func (s *Service) Cluster() *cluster.Cluster { return s.cl }
 
 func (s *Service) Stats() Stats {
+	h := s.Health()
 	return Stats{
 		Rounds:                s.rounds.Load(),
 		Submitted:             s.submitted.Load(),
@@ -1066,12 +1162,17 @@ func (s *Service) Stats() Stats {
 		StaleMachineOps:       s.staleMachineOps.Load(),
 		StaleDecisions:        s.staleDecisions.Load(),
 		Unscheduled:           s.unscheduled.Load(),
-		DroppedPublications:   s.dropped.Load(),
+		WatchDropped:          s.dropped.Load(),
 		SolverWarmStarts:      s.warmStarts.Load(),
 		SolverFullRestarts:    s.fullRestarts.Load(),
 		TemplateHits:          s.templateHits.Load(),
 		TemplateMisses:        s.templateMisses.Load(),
 		TemplateInvalidations: s.templateInvals.Load(),
+		WALRetries:            s.walRetries.Load(),
+		DegradedRounds:        s.degradedRounds.Load(),
+		WALRearms:             s.walRearms.Load(),
+		Health:                h.State.String(),
+		FailureCause:          h.Cause,
 		Pending:               int64(s.cl.NumPending()),
 		Running:               int64(s.cl.NumRunning()),
 		SolverParallelism:     int64(s.sched.Pool().Options.Parallelism),

@@ -182,8 +182,8 @@ func TestConcurrentSubmitters(t *testing.T) {
 	if st.Completed != total {
 		t.Fatalf("completed %d, want %d", st.Completed, total)
 	}
-	if st.DroppedPublications != 0 {
-		t.Fatalf("%d placement events dropped (buffer too small for test load)", st.DroppedPublications)
+	if st.WatchDropped != 0 {
+		t.Fatalf("%d placement events dropped (buffer too small for test load)", st.WatchDropped)
 	}
 	// No lost events: every submitted task was placed at least once, and
 	// no task was placed twice without an intervening eviction.

@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the filesystem operations the journal performs, so tests can
+// interpose deterministic fault injection (internal/faultfs) without touching
+// the hot path: the default implementation is a zero-overhead wrapper over
+// package os.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics (including flag and
+	// permission handling). Read-only opens pass os.O_RDONLY.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+}
+
+// File is the subset of *os.File the journal relies on.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS is the default FS: a thin pass-through to package os.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }

@@ -111,6 +111,10 @@ type Options struct {
 	SegmentBytes int64
 	// Sync selects the fsync policy. Default SyncAlways.
 	Sync SyncPolicy
+	// FS overrides the filesystem the journal reads and writes through.
+	// Nil means the real one (OSFS). Tests substitute a fault-injecting
+	// implementation (internal/faultfs).
+	FS FS
 }
 
 type segment struct {
@@ -124,10 +128,11 @@ type segment struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu       sync.Mutex // guards append state
 	segments []segment  // sorted by firstSeq; last is active
-	f        *os.File   // active segment
+	f        File       // active segment
 	w        *bufio.Writer
 	size     int64  // bytes written to active segment
 	lastSeq  uint64 // last appended sequence number
@@ -144,10 +149,16 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS}
+	if err := l.removeStaleTmp(); err != nil {
+		return nil, err
+	}
 	if err := l.loadSegments(); err != nil {
 		return nil, err
 	}
@@ -162,8 +173,28 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
+// removeStaleTmp deletes leftover snapshot temp files. A crash between
+// creating snap-*.state.tmp and the rename that publishes it orphans the
+// tmp file; nothing ever reads one, so Open sweeps them.
+func (l *Log) removeStaleTmp() error {
+	entries, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if err := l.fs.Remove(filepath.Join(l.dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (l *Log) loadSegments() error {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
@@ -190,7 +221,7 @@ func (l *Log) recover() error {
 	l.lastSeq = 0
 	for i, seg := range l.segments {
 		last := i == len(l.segments)-1
-		n, validEnd, err := scanSegment(seg.path, seg.firstSeq)
+		n, validEnd, err := scanSegment(l.fs, seg.path, seg.firstSeq)
 		if err != nil {
 			if !last {
 				return fmt.Errorf("%w: segment %s: %v", ErrCorrupt, filepath.Base(seg.path), err)
@@ -199,13 +230,13 @@ func (l *Log) recover() error {
 			// damaged header and no valid records is dropped entirely
 			// (crash during rotation).
 			if validEnd <= headerSize && n == 0 {
-				if rmErr := os.Remove(seg.path); rmErr != nil {
+				if rmErr := l.fs.Remove(seg.path); rmErr != nil {
 					return rmErr
 				}
 				l.segments = l.segments[:i]
 				break
 			}
-			if trErr := os.Truncate(seg.path, validEnd); trErr != nil {
+			if trErr := l.fs.Truncate(seg.path, validEnd); trErr != nil {
 				return trErr
 			}
 		}
@@ -224,8 +255,8 @@ func (l *Log) recover() error {
 // scanSegment counts the valid records in a segment file. It returns the
 // record count, the byte offset of the end of the last valid record, and an
 // error if the file ends in a torn or corrupt frame (validEnd still set).
-func scanSegment(path string, firstSeq uint64) (n uint64, validEnd int64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fs FS, path string, firstSeq uint64) (n uint64, validEnd int64, err error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -278,7 +309,7 @@ func (l *Log) openActive() error {
 		return l.rotateLocked(l.lastSeq + 1)
 	}
 	seg := l.segments[len(l.segments)-1]
-	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -309,7 +340,7 @@ func (l *Log) rotateLocked(seq uint64) error {
 		l.f = nil
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%020d.log", seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -324,7 +355,7 @@ func (l *Log) rotateLocked(seq uint64) error {
 		f.Close()
 		return err
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	l.f = f
 	l.size = headerSize
 	l.w = bufio.NewWriterSize(f, 1<<20)
@@ -365,6 +396,36 @@ func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.lastSeq
+}
+
+// Probe writes, fsyncs and removes a scratch file in the log directory,
+// proving the directory's write path actually works. Reopening an existing
+// log performs no writes (the active segment is opened for append, records
+// are buffered), so a successful Open is no evidence that a sick disk has
+// healed; the durability re-arm calls Probe before trusting one. The
+// scratch name ends in .tmp so a crash mid-probe leaves only an orphan the
+// next Open sweeps.
+func (l *Log) Probe() error {
+	path := filepath.Join(l.dir, "wal-probe.tmp")
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("wal write probe")); err != nil {
+		f.Close()
+		l.fs.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.fs.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		l.fs.Remove(path)
+		return err
+	}
+	return l.fs.Remove(path)
 }
 
 // Flush pushes buffered records to the OS without fsync. Sufficient to
@@ -458,7 +519,7 @@ func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) err
 		if i+1 < len(segs) && segs[i+1].firstSeq <= from {
 			continue
 		}
-		f, err := os.Open(seg.path)
+		f, err := l.fs.OpenFile(seg.path, os.O_RDONLY, 0)
 		if err != nil {
 			return err
 		}
@@ -521,11 +582,11 @@ func (l *Log) SaveSnapshot(lowWater uint64, write func(w io.Writer) error) (stri
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("snap-%020d.state", lowWater))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return "", err
 	}
-	defer os.Remove(tmp) // no-op after successful rename
+	defer l.fs.Remove(tmp) // no-op after successful rename
 	var hdr [headerSize]byte
 	copy(hdr[:8], snapMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], lowWater)
@@ -549,17 +610,17 @@ func (l *Log) SaveSnapshot(lowWater uint64, write func(w io.Writer) error) (stri
 	if err := f.Close(); err != nil {
 		return "", err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := l.fs.Rename(tmp, path); err != nil {
 		return "", err
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	return path, nil
 }
 
 // Snapshots returns the low-water marks of all snapshots in the directory,
 // ascending.
 func (l *Log) Snapshots() ([]uint64, error) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -592,7 +653,7 @@ func (l *Log) LatestSnapshot() (io.Reader, uint64, func() error, error) {
 	}
 	lw := lws[len(lws)-1]
 	path := filepath.Join(l.dir, fmt.Sprintf("snap-%020d.state", lw))
-	f, err := os.Open(path)
+	f, err := l.fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -631,7 +692,7 @@ func (l *Log) TruncateBefore(retain int) error {
 	if len(lws) > retain {
 		keepFrom = lws[len(lws)-retain]
 		for _, lw := range lws[:len(lws)-retain] {
-			os.Remove(filepath.Join(l.dir, fmt.Sprintf("snap-%020d.state", lw)))
+			l.fs.Remove(filepath.Join(l.dir, fmt.Sprintf("snap-%020d.state", lw)))
 		}
 	}
 	l.mu.Lock()
@@ -642,7 +703,7 @@ func (l *Log) TruncateBefore(retain int) error {
 	kept := l.segments[:0]
 	for i, seg := range l.segments {
 		if i+1 < len(l.segments) && l.segments[i+1].firstSeq <= keepFrom {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				return err
 			}
 			continue
@@ -675,8 +736,8 @@ func (l *Log) Close() error {
 
 // syncDir fsyncs a directory so renames and creates are durable. Best
 // effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func syncDir(fs FS, dir string) {
+	if d, err := fs.OpenFile(dir, os.O_RDONLY, 0); err == nil {
 		d.Sync()
 		d.Close()
 	}
